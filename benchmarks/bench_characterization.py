@@ -1,0 +1,18 @@
+"""Section 4.1's full characterization sweep (the training inputs)."""
+
+from repro.experiments import characterization as experiment
+
+
+def test_characterization(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("characterization", experiment.format_report(result))
+    assert len(result.rows) == 25
+    # The stress benchmarks bracket the bandwidth-sensitivity range.
+    assert result.most_bandwidth_sensitive().bandwidth_sensitivity > 0.9
+    assert result.least_bandwidth_sensitive().bandwidth_sensitivity < 0.1
+    # MaxFlops scales linearly with both compute tunables.
+    maxflops = result.kernel("MaxFlops.MaxFlops")
+    assert maxflops.curves["n_cu"].scaling_ratio() > 6.0
+    assert maxflops.curves["f_mem"].scaling_ratio() < 1.05

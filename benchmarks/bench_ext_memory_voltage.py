@@ -1,0 +1,17 @@
+"""Extension: the Section 7.2 memory-bus-voltage-scaling what-if."""
+
+from repro.experiments import ext_memory_voltage as experiment
+
+
+def test_ext_memory_voltage(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("ext_memory_voltage", experiment.format_report(result))
+    # The what-if must unlock additional savings, concentrated on the
+    # workloads whose memory bus gets slowed (paper Section 7.2).
+    assert result.ed2_gain_from_scaling > 0.0
+    assert result.power_gain_from_scaling > 0.0
+    by_app = {r.application: r for r in result.rows}
+    assert by_app["Sort"].ed2_scaled > by_app["Sort"].ed2_fixed
+    assert by_app["MaxFlops"].ed2_scaled > by_app["MaxFlops"].ed2_fixed

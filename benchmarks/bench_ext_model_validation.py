@@ -1,0 +1,18 @@
+"""Extension: analytical-model cross-validation against the event sim."""
+
+from repro.experiments import ext_model_validation as experiment
+
+
+def test_ext_model_validation(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("ext_model_validation", experiment.format_report(result))
+    # The two independently implemented execution models must agree on
+    # the performance surfaces the reproduction rests on.
+    assert result.overall_mean_deviation() < 0.10
+    assert result.min_correlation() > 0.75
+    # And agree tightly on the stress benchmarks that anchor Figure 3.
+    by_kernel = {r.kernel: r for r in result.rows}
+    assert by_kernel["MaxFlops.MaxFlops"].mean_abs_deviation < 0.02
+    assert by_kernel["DeviceMemory.DeviceMemory"].mean_abs_deviation < 0.05

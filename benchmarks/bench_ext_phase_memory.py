@@ -1,0 +1,17 @@
+"""Extension: per-phase configuration recall on recurring BFS traversals."""
+
+from repro.experiments import ext_phase_memory as experiment
+
+
+def test_ext_phase_memory(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("ext_phase_memory", experiment.format_report(result))
+    # Recall must fire on the recurring traversals, and the validation
+    # guard must keep it from doing harm (on this substrate the CG jump is
+    # already near-optimal per phase, so the expected effect is neutral).
+    assert result.recalls >= 2
+    assert result.distinct_phases >= 2
+    assert result.ed2_with > result.ed2_without - 0.02
+    assert result.perf_with >= result.perf_without - 0.01

@@ -1,0 +1,18 @@
+"""Extension: the Section 4.3 portability claim on a second platform."""
+
+from repro.experiments import ext_portability as experiment
+
+
+def test_ext_portability(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("ext_portability", experiment.format_report(result))
+    # The unchanged pipeline must deliver comparable headline results on
+    # the smaller platform: double-digit-ish ED² gain, tiny perf loss,
+    # strong model fits.
+    assert result.pitcairn_ed2 > 0.06
+    assert result.pitcairn_perf > -0.02
+    assert result.pitcairn_bw_correlation > 0.85
+    assert result.pitcairn_compute_correlation > 0.75
+    assert result.pitcairn_configs == 240

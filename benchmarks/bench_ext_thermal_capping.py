@@ -1,0 +1,15 @@
+"""Extension: coordinated management under a tight thermal envelope."""
+
+from repro.experiments import ext_thermal_capping as experiment
+
+
+def test_ext_thermal_capping(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("ext_thermal_capping", experiment.format_report(result))
+    # Section 7.3 insight 6: under the tight envelope Harmonia's balance
+    # becomes a performance win, and it runs cooler than the baseline.
+    assert result.mean_speedup() > 0.01
+    for row in result.rows:
+        assert row.harmonia_peak_temp <= row.baseline_peak_temp + 0.5

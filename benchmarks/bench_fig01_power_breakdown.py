@@ -1,0 +1,11 @@
+"""Figure 1: card power breakdown for a memory-intensive workload."""
+
+from repro.experiments import fig01_power_breakdown as experiment
+
+
+def test_fig01_power_breakdown(benchmark, ctx, emit):
+    result = benchmark(experiment.run, ctx)
+    emit("fig01_power_breakdown", experiment.format_report(result))
+    # Shape: memory is a major consumer alongside the GPU chip.
+    assert result.memory_fraction > 0.25
+    assert result.gpu_fraction > result.memory_fraction

@@ -1,0 +1,17 @@
+"""Figure 3: hardware balance points for MaxFlops, DeviceMemory, LUD."""
+
+from repro.experiments import fig03_balance as experiment
+
+
+def test_fig03_balance_points(benchmark, ctx, emit):
+    results = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("fig03_balance_points", experiment.format_report(results))
+    # Paper shapes: MaxFlops scales ~27x; DeviceMemory saturates at ~4x
+    # normalized ops/byte; LUD is compute-bound at high bandwidth.
+    assert 20 < results["MaxFlops"].peak_normalized_performance() < 32
+    knee = results["DeviceMemory"].curve_at_max_bandwidth().knee_ops_per_byte
+    assert 2.5 < knee < 6.0
+    lud_curve = results["LUD"].curve_at_max_bandwidth()
+    assert lud_curve.knee_ops_per_byte == max(x for x, _ in lud_curve.points)

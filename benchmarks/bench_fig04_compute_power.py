@@ -1,0 +1,10 @@
+"""Figure 4: DeviceMemory card power across compute configurations."""
+
+from repro.experiments import fig04_fig05_power_ranges as experiment
+
+
+def test_fig04_compute_power_range(benchmark, ctx, emit):
+    result = benchmark(experiment.run_fig04, ctx)
+    emit("fig04_compute_power", experiment.format_report(result, "70%"))
+    # Paper: normalized board power varies by about 70%.
+    assert 0.45 < result.variation < 0.85

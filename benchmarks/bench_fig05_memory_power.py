@@ -1,0 +1,10 @@
+"""Figure 5: MaxFlops card power across memory configurations."""
+
+from repro.experiments import fig04_fig05_power_ranges as experiment
+
+
+def test_fig05_memory_power_range(benchmark, ctx, emit):
+    result = benchmark(experiment.run_fig05, ctx)
+    emit("fig05_memory_power", experiment.format_report(result, "10%"))
+    # Paper: ~10% power variation at fixed memory voltage.
+    assert 0.04 < result.variation < 0.15

@@ -1,0 +1,15 @@
+"""Figure 6: cost of optimizing energy vs ED² vs performance."""
+
+from repro.experiments import fig06_metric_tradeoffs as experiment
+
+
+def test_fig06_metric_tradeoffs(benchmark, ctx, emit):
+    results = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("fig06_metric_tradeoffs", experiment.format_report(results))
+    for result in results.values():
+        # Paper shape: energy optimality costs significant performance;
+        # ED² optimality is nearly free (~1%).
+        assert result.energy_opt_perf_loss > 0.10
+        assert result.ed2_opt_perf_loss < 0.04

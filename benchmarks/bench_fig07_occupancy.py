@@ -1,0 +1,12 @@
+"""Figure 7: VGPR-caused occupancy limits vs bandwidth sensitivity."""
+
+from repro.experiments import fig07_occupancy as experiment
+
+
+def test_fig07_occupancy(benchmark, ctx, emit):
+    result = benchmark(experiment.run, ctx)
+    emit("fig07_occupancy", experiment.format_report(result))
+    assert result.low_occupancy.occupancy == 0.30
+    assert result.high_occupancy.occupancy == 1.0
+    assert result.low_occupancy.bandwidth_sensitivity < 0.3
+    assert result.high_occupancy.bandwidth_sensitivity > 0.7

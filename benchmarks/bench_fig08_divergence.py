@@ -1,0 +1,10 @@
+"""Figure 8: branch divergence, kernel size, and frequency sensitivity."""
+
+from repro.experiments import fig08_divergence as experiment
+
+
+def test_fig08_divergence(benchmark, ctx, emit):
+    result = benchmark(experiment.run, ctx)
+    emit("fig08_divergence", experiment.format_report(result))
+    assert result.divergent_small.frequency_sensitivity < 0.3
+    assert result.coherent_large.frequency_sensitivity > 0.7

@@ -1,0 +1,11 @@
+"""Figure 9: clock-domain crossings and compute-frequency sensitivity."""
+
+from repro.experiments import fig09_clock_domains as experiment
+
+
+def test_fig09_clock_domains(benchmark, ctx, emit):
+    result = benchmark(experiment.run, ctx)
+    emit("fig09_clock_domains", experiment.format_report(result))
+    assert result.ic_activity > 0.5
+    assert result.frequency_sensitivity > 0.5
+    assert result.crossing_limited_points() >= 3

@@ -1,0 +1,15 @@
+"""Figure 10: overall ED² gain from Harmonia."""
+
+from repro.experiments import fig10_13_evaluation as experiment
+
+
+def test_fig10_ed2(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("fig10_ed2", experiment.format_fig10(result))
+    summary = result.summary
+    # Paper: 12% average, 36% max (BPT), within ~3% of the oracle.
+    assert 0.08 < summary.geomean_ed2("harmonia") < 0.18
+    assert 0.28 < summary.comparison("BPT", "harmonia").ed2_improvement < 0.48
+    assert summary.geomean_ed2("oracle") >= summary.geomean_ed2("harmonia")

@@ -1,0 +1,21 @@
+"""Figure 11: overall energy gain from Harmonia."""
+
+from repro.experiments import fig10_13_evaluation as experiment
+from repro.workloads.registry import STRESS_BENCHMARKS, application_names
+
+
+def test_fig11_energy(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("fig11_energy", experiment.format_fig11(result))
+    summary = result.summary
+    assert summary.geomean_energy("harmonia") > 0.05
+    # Paper: CG and FG+CG energy savings nearly identical (outside the
+    # Streamcluster performance story).
+    for app in application_names():
+        if app in ("Streamcluster",) + tuple(STRESS_BENCHMARKS):
+            continue
+        cg = summary.comparison(app, "cg-only").energy_improvement
+        hm = summary.comparison(app, "harmonia").energy_improvement
+        assert abs(hm - cg) < 0.20

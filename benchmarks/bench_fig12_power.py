@@ -1,0 +1,13 @@
+"""Figure 12: overall card power saving from Harmonia."""
+
+from repro.experiments import fig10_13_evaluation as experiment
+
+
+def test_fig12_power(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("fig12_power", experiment.format_fig12(result))
+    summary = result.summary
+    # Paper: 12% average card-power saving, up to ~19%.
+    assert 0.08 < summary.geomean_power("harmonia") < 0.20

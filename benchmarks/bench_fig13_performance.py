@@ -1,0 +1,20 @@
+"""Figure 13: performance under Harmonia and CG-only."""
+
+from repro.experiments import fig10_13_evaluation as experiment
+
+
+def test_fig13_performance(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("fig13_performance", experiment.format_fig13(result))
+    summary = result.summary
+    # Paper: Harmonia -0.36% average, -3.6% worst (Streamcluster);
+    # CG-only -2.2% average, -27% worst (Streamcluster); BPT +11%.
+    assert -0.02 < summary.geomean_performance("harmonia", True) < 0.02
+    assert -0.06 < summary.geomean_performance("cg-only", True) < 0.0
+    sc_cg = summary.comparison("Streamcluster", "cg-only").performance_delta
+    assert -0.40 < sc_cg < -0.15
+    sc_hm = summary.comparison("Streamcluster", "harmonia").performance_delta
+    assert sc_hm > -0.06
+    assert summary.comparison("BPT", "harmonia").performance_delta > 0.03

@@ -1,0 +1,13 @@
+"""Figure 14: Graph500.BottomStepUp behaviour over its iterations."""
+
+from repro.experiments import fig14_16_graph500 as experiment
+
+
+def test_fig14_graph500_phases(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("fig14_graph500_phases", experiment.format_report(result))
+    # Paper: raw instruction totals vary significantly across iterations.
+    assert result.instruction_swing() > 3.0
+    assert len(result.phases) == 8

@@ -1,0 +1,16 @@
+"""Figure 15: memory bus frequency residency in Graph500."""
+
+from repro.experiments import fig14_16_graph500 as experiment
+
+
+def test_fig15_membus_residency(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("fig15_membus_residency", experiment.format_report(result))
+    # Paper: the bus dithers between frequencies as bandwidth sensitivity
+    # changes between medium and low across phases.
+    assert result.mem_frequencies_visited() >= 2
+    fractions = result.mem_residency.fractions
+    assert all(0.0 < f <= 1.0 for f in fractions.values())
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9

@@ -1,0 +1,15 @@
+"""Figure 16: residency of all three hardware tunables in Graph500."""
+
+from repro.experiments import fig14_16_graph500 as experiment
+
+
+def test_fig16_tunable_residency(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("fig16_tunable_residency", experiment.format_report(result))
+    # Paper: compute frequency pinned at the 1 GHz boost state (high
+    # divergence keeps compute sensitivity high); 32 CUs dominate.
+    assert result.dominant_f_cu() == 1e9
+    assert result.f_cu_residency.fraction_at(1e9) > 0.7
+    assert result.cu_residency.dominant_value() == 32

@@ -1,0 +1,13 @@
+"""Figure 17: GPU vs memory power split under baseline and Harmonia."""
+
+from repro.experiments import fig17_power_sharing as experiment
+
+
+def test_fig17_power_sharing(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("fig17_power_sharing", experiment.format_report(result))
+    # Paper: ~64% of the savings from compute, ~36% from memory.
+    gpu_share, mem_share = result.savings_split()
+    assert gpu_share > mem_share > 0.05

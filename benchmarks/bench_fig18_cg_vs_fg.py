@@ -1,0 +1,15 @@
+"""Figure 18: relative contributions of CG vs FG tuning."""
+
+from repro.experiments import fig18_cg_vs_fg as experiment
+
+
+def test_fig18_cg_vs_fg(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("fig18_cg_vs_fg", experiment.format_report(result))
+    by_app = {r.application: r for r in result.contributions}
+    # Paper: FG rescues CG outliers (SPMV); XSBench is CG-dominated.
+    assert by_app["SPMV"].fg_contribution > 0.02
+    assert abs(by_app["XSBench"].fg_contribution) < 0.02
+    assert result.median_settle_iterations() <= 20

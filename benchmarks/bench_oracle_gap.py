@@ -1,0 +1,21 @@
+"""Decomposition of the Harmonia-to-oracle ED² gap."""
+
+from repro.experiments import oracle_gap as experiment
+
+
+def test_oracle_gap(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("oracle_gap", experiment.format_report(result))
+    # The orderings must hold: harmonia <= perf-oracle <= oracle.
+    for row in result.rows:
+        assert row.perf_oracle >= row.harmonia - 0.01
+        assert row.oracle >= row.perf_oracle - 0.005
+    # The gap is dominated by free profiling, not by trading performance
+    # away (which Harmonia refuses by design).
+    assert result.mean_adaptation_share() > result.mean_perf_trading_share()
+    assert result.mean_perf_trading_share() < 0.03
+    # XSBench (2 iterations) is the structural outlier.
+    by_app = {r.application: r for r in result.rows}
+    assert by_app["XSBench"].adaptation_share > 0.15

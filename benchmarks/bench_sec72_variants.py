@@ -1,0 +1,16 @@
+"""Section 7.2: predictor accuracy and the compute-DVFS-only comparison."""
+
+from repro.experiments import sec72_variants as experiment
+
+
+def test_sec72_variants(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        experiment.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("sec72_variants", experiment.format_report(result))
+    # Paper: frequency-only scaling achieves a small fraction of
+    # Harmonia's gain, with ~1% performance loss.
+    assert result.dvfs_only_ed2 < 0.75 * result.harmonia_ed2
+    assert -0.03 < result.dvfs_only_performance < 0.005
+    assert result.bandwidth_prediction_error < 0.15
+    assert result.compute_prediction_error < 0.15

@@ -1,0 +1,9 @@
+"""Table 1: the HD7970 GPU DVFS table."""
+
+from repro.experiments import table1_dvfs as experiment
+
+
+def test_table1_dvfs(benchmark, ctx, emit):
+    result = benchmark(experiment.run, ctx)
+    emit("table1_dvfs", experiment.format_report(result))
+    assert result.max_voltage_error() < 1e-9

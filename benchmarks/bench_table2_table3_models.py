@@ -1,0 +1,13 @@
+"""Tables 2-3: the counter vocabulary and sensitivity-model refit."""
+
+from repro.experiments import table2_table3_models as experiment
+
+
+def test_table2_table3_models(benchmark, ctx, emit):
+    result = benchmark(experiment.run, ctx)
+    emit("table2_table3_models", experiment.format_report(result))
+    # Paper: correlations 0.91 (compute) and 0.96 (bandwidth).
+    assert result.bandwidth_correlation > 0.90
+    assert result.compute_correlation > 0.75
+    bw_err, comp_err = result.prediction_errors()
+    assert bw_err < 0.15 and comp_err < 0.15

@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures and report emission.
+
+Every benchmark regenerates one of the paper's tables or figures: it times
+the experiment entry point with ``pytest-benchmark``, prints the same
+rows/series the paper reports, and writes them under
+``benchmarks/reports/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """Shared experiment context for all benchmarks."""
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Callable writing a named report file and echoing it to stdout."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = REPORT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report written to {path}]")
+
+    return _emit

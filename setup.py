@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that offline environments without the ``wheel`` package (where PEP 660
+editable installs fail) can still do ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

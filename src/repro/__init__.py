@@ -1,0 +1,98 @@
+"""Harmonia: balancing compute and memory power in high-performance GPUs.
+
+A full reproduction of Paul, Huang, Arora and Yalamanchili's ISCA 2015
+paper, built around a calibrated analytical model of the paper's test bed
+(an AMD Radeon HD7970 with GDDR5 memory) since the evaluation requires
+hardware measurement.
+
+Quick start::
+
+    from repro import (
+        make_hd7970_platform, all_applications, train_predictors,
+        HarmoniaPolicy, BaselinePolicy, ApplicationRunner,
+    )
+
+    platform = make_hd7970_platform()
+    apps = all_applications()
+    training = train_predictors(platform, apps)
+    harmonia = HarmoniaPolicy(platform.config_space,
+                              training.compute, training.bandwidth)
+    runner = ApplicationRunner(platform)
+    result = runner.run(apps[0], harmonia)
+    print(result.metrics.ed2, result.metrics.avg_power)
+
+Layer map (bottom-up):
+
+* ``repro.gpu`` / ``repro.memory`` -- the HD7970 machine description and
+  GDDR5 subsystem,
+* ``repro.perf`` / ``repro.power`` -- analytical performance and power
+  models,
+* ``repro.platform`` -- the test-bed facade (``run_kernel``),
+* ``repro.workloads`` -- the paper's 14 applications / 25 kernels,
+* ``repro.sensitivity`` -- Section 4's measurement/training/prediction,
+* ``repro.core`` -- Harmonia, the PowerTune baseline, the oracle, variants,
+* ``repro.runtime`` / ``repro.analysis`` -- execution, metrics, sweeps,
+* ``repro.experiments`` -- one module per paper table/figure.
+"""
+
+from repro.analysis.evaluation import EvaluationHarness
+from repro.core.baseline import BaselinePolicy
+from repro.core.harmonia import HarmoniaPolicy
+from repro.core.oracle import OraclePolicy
+from repro.core.variants import ComputeDvfsOnlyPolicy, make_cg_only_policy
+from repro.gpu.architecture import HD7970, GpuArchitecture
+from repro.gpu.config import ConfigSpace, HardwareConfig
+from repro.perf.kernelspec import KernelSpec
+from repro.platform.calibration import PlatformCalibration, default_calibration
+from repro.platform.hd7970 import HardwarePlatform, make_hd7970_platform
+from repro.runtime.metrics import RunMetrics, ed, ed2, geomean
+from repro.runtime.simulator import ApplicationRunner, RunResult
+from repro.sensitivity.predictor import (
+    PAPER_BANDWIDTH_PREDICTOR,
+    PAPER_COMPUTE_PREDICTOR,
+    SensitivityPredictor,
+    train_predictors,
+)
+from repro.workloads.application import Application
+from repro.workloads.registry import (
+    all_applications,
+    application_names,
+    get_application,
+    get_kernel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvaluationHarness",
+    "BaselinePolicy",
+    "HarmoniaPolicy",
+    "OraclePolicy",
+    "ComputeDvfsOnlyPolicy",
+    "make_cg_only_policy",
+    "HD7970",
+    "GpuArchitecture",
+    "ConfigSpace",
+    "HardwareConfig",
+    "KernelSpec",
+    "PlatformCalibration",
+    "default_calibration",
+    "HardwarePlatform",
+    "make_hd7970_platform",
+    "RunMetrics",
+    "ed",
+    "ed2",
+    "geomean",
+    "ApplicationRunner",
+    "RunResult",
+    "PAPER_BANDWIDTH_PREDICTOR",
+    "PAPER_COMPUTE_PREDICTOR",
+    "SensitivityPredictor",
+    "train_predictors",
+    "Application",
+    "all_applications",
+    "application_names",
+    "get_application",
+    "get_kernel",
+    "__version__",
+]

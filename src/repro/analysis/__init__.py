@@ -1,0 +1,49 @@
+"""Analysis: design-space sweeps, balance points, evaluation, reporting.
+
+* :mod:`repro.analysis.sweep` — the 450-configuration exhaustive
+  exploration behind Figures 3-6,
+* :mod:`repro.analysis.balance` — hardware balance-point detection,
+* :mod:`repro.analysis.evaluation` — the Figures 10-13 policy-comparison
+  harness (per-application improvements + the two geometric means),
+* :mod:`repro.analysis.report` — ASCII table / CSV emitters used by the
+  benchmarks.
+"""
+
+from repro.analysis.sweep import ConfigSweep, SweepPoint
+from repro.analysis.balance import find_balance_point, knee_of_curve
+from repro.analysis.evaluation import (
+    ApplicationComparison,
+    EvaluationHarness,
+    EvaluationSummary,
+)
+from repro.analysis.pareto import ParetoFrontier, distance_to_frontier, pareto_frontier
+from repro.analysis.report import format_table, to_csv
+from repro.analysis.roofline import (
+    Regime,
+    RooflinePoint,
+    balanced_configurations,
+    classify_kernel,
+    ridge_point,
+    roofline,
+)
+
+__all__ = [
+    "ConfigSweep",
+    "SweepPoint",
+    "find_balance_point",
+    "knee_of_curve",
+    "ApplicationComparison",
+    "EvaluationHarness",
+    "EvaluationSummary",
+    "ParetoFrontier",
+    "distance_to_frontier",
+    "pareto_frontier",
+    "format_table",
+    "to_csv",
+    "Regime",
+    "RooflinePoint",
+    "balanced_configurations",
+    "classify_kernel",
+    "ridge_point",
+    "roofline",
+]

@@ -1,0 +1,58 @@
+"""Hardware balance-point detection (Section 3.2).
+
+"Hardware configurations with normalized ops/byte of ~4.0 are balanced
+configurations where compute throughput just saturates the available
+memory bandwidth. Each memory configuration has a different balance point
+(the knee of the curve)."
+
+Given a Figure 3 curve (performance vs. platform ops/byte at fixed memory
+configuration), the knee is the smallest ops/byte whose performance is
+within a saturation tolerance of the curve's maximum — the cheapest
+compute configuration that delivers (almost) peak performance for that
+memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.analysis.sweep import SweepPoint
+
+
+def knee_of_curve(curve: Sequence[SweepPoint],
+                  saturation_tolerance: float = 0.02) -> SweepPoint:
+    """The knee (balance point) of one fixed-memory performance curve.
+
+    Args:
+        curve: sweep points at one memory configuration, ascending in
+            platform ops/byte.
+        saturation_tolerance: how close to the curve's peak performance a
+            point must be to count as saturated.
+
+    Returns:
+        The first (lowest-ops/byte) saturated point.
+
+    Raises:
+        AnalysisError: for an empty curve or a non-positive tolerance.
+    """
+    if not curve:
+        raise AnalysisError("empty curve")
+    if saturation_tolerance < 0:
+        raise AnalysisError("saturation_tolerance must be non-negative")
+    peak = max(p.performance for p in curve)
+    for point in curve:
+        if point.performance >= peak * (1.0 - saturation_tolerance):
+            return point
+    raise AnalysisError("unreachable: the peak point always satisfies the bound")
+
+
+def find_balance_point(sweep, f_mem: float,
+                       saturation_tolerance: float = 0.02) -> SweepPoint:
+    """Balance point of ``sweep`` at memory configuration ``f_mem``.
+
+    Convenience wrapper: extracts the fixed-memory curve and returns its
+    knee (see :func:`knee_of_curve`).
+    """
+    curve = sweep.curve_for_memory_config(f_mem)
+    return knee_of_curve(curve, saturation_tolerance)

@@ -1,0 +1,151 @@
+"""The Figures 10-13 policy-comparison harness.
+
+Runs every application under every policy, normalizes to the baseline, and
+produces exactly the rows the paper's result figures plot: per-application
+ED² / energy / power improvements and performance deltas, plus the two
+geometric means ("Geomean 2 ... excludes those two stress benchmarks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.core.policy import PowerPolicy
+from repro.platform.hd7970 import HardwarePlatform
+from repro.runtime.metrics import RunMetrics, geomean, improvement
+from repro.runtime.simulator import ApplicationRunner, RunResult
+from repro.workloads.application import Application
+from repro.workloads.registry import STRESS_BENCHMARKS
+
+
+@dataclass(frozen=True)
+class ApplicationComparison:
+    """One application's outcome under one policy, vs. the baseline."""
+
+    application: str
+    policy: str
+    baseline: RunMetrics
+    candidate: RunMetrics
+
+    @property
+    def ed2_improvement(self) -> float:
+        """Fractional ED² improvement over the baseline (Figure 10)."""
+        return improvement(self.baseline.ed2, self.candidate.ed2)
+
+    @property
+    def energy_improvement(self) -> float:
+        """Fractional energy improvement over the baseline (Figure 11)."""
+        return improvement(self.baseline.energy, self.candidate.energy)
+
+    @property
+    def power_saving(self) -> float:
+        """Fractional average-power saving over the baseline (Figure 12)."""
+        return improvement(self.baseline.avg_power, self.candidate.avg_power)
+
+    @property
+    def performance_delta(self) -> float:
+        """Relative performance change (Figure 13); negative = slowdown."""
+        return self.baseline.time / self.candidate.time - 1.0
+
+    @property
+    def ed_improvement(self) -> float:
+        """Fractional ED improvement (the Section 3.4 companion metric)."""
+        return improvement(self.baseline.ed, self.candidate.ed)
+
+
+@dataclass(frozen=True)
+class EvaluationSummary:
+    """All policies x all applications, with the paper's two geomeans."""
+
+    comparisons: Tuple[ApplicationComparison, ...]
+    runs: Mapping[str, Mapping[str, RunResult]]
+
+    def for_policy(self, policy: str) -> Tuple[ApplicationComparison, ...]:
+        """All per-application comparisons of one policy."""
+        rows = tuple(c for c in self.comparisons if c.policy == policy)
+        if not rows:
+            raise AnalysisError(f"no comparisons for policy {policy!r}")
+        return rows
+
+    def comparison(self, application: str, policy: str) -> ApplicationComparison:
+        """One application x policy cell."""
+        for c in self.comparisons:
+            if c.application == application and c.policy == policy:
+                return c
+        raise AnalysisError(f"no comparison for {application!r} x {policy!r}")
+
+    def _geomean_of(self, policy: str, attribute: str,
+                    exclude_stress: bool) -> float:
+        rows = self.for_policy(policy)
+        if exclude_stress:
+            rows = tuple(r for r in rows if r.application not in STRESS_BENCHMARKS)
+        if attribute == "performance_delta":
+            # delta = baseline_time / candidate_time - 1; the ratio
+            # (1 + delta) is positive by construction.
+            return geomean(1.0 + r.performance_delta for r in rows) - 1.0
+        # Improvement metrics are (baseline - candidate) / baseline; the
+        # geomean must run over the positive candidate/baseline ratios —
+        # a candidate can be arbitrarily worse than baseline (ratio > 2),
+        # where naive geomean over (1 + improvement) would go negative.
+        return 1.0 - geomean(1.0 - getattr(r, attribute) for r in rows)
+
+    def geomean(self, policy: str, attribute: str,
+                exclude_stress: bool = False) -> float:
+        """Geomean of any comparison attribute for one policy."""
+        return self._geomean_of(policy, attribute, exclude_stress)
+
+    def geomean_ed2(self, policy: str, exclude_stress: bool = False) -> float:
+        """Geomean ED² improvement (Geomean 1, or Geomean 2 if excluding
+        the MaxFlops/DeviceMemory stress benchmarks)."""
+        return self._geomean_of(policy, "ed2_improvement", exclude_stress)
+
+    def geomean_energy(self, policy: str, exclude_stress: bool = False) -> float:
+        """Geomean energy improvement."""
+        return self._geomean_of(policy, "energy_improvement", exclude_stress)
+
+    def geomean_power(self, policy: str, exclude_stress: bool = False) -> float:
+        """Geomean power saving."""
+        return self._geomean_of(policy, "power_saving", exclude_stress)
+
+    def geomean_performance(self, policy: str,
+                            exclude_stress: bool = False) -> float:
+        """Geomean performance delta."""
+        return self._geomean_of(policy, "performance_delta", exclude_stress)
+
+
+class EvaluationHarness:
+    """Runs the full policy-comparison matrix."""
+
+    def __init__(self, platform: HardwarePlatform,
+                 baseline_policy: PowerPolicy):
+        self._runner = ApplicationRunner(platform)
+        self._baseline = baseline_policy
+
+    def evaluate(self, applications: Sequence[Application],
+                 policies: Sequence[PowerPolicy]) -> EvaluationSummary:
+        """Run baseline + candidates over all applications.
+
+        Args:
+            applications: workloads to evaluate.
+            policies: candidate policies (the baseline is implicit).
+        """
+        if not applications:
+            raise AnalysisError("no applications to evaluate")
+        comparisons: List[ApplicationComparison] = []
+        runs: Dict[str, Dict[str, RunResult]] = {}
+        for application in applications:
+            base_run = self._runner.run(application, self._baseline)
+            per_app: Dict[str, RunResult] = {self._baseline.name: base_run}
+            for policy in policies:
+                run = self._runner.run(application, policy)
+                per_app[policy.name] = run
+                comparisons.append(ApplicationComparison(
+                    application=application.name,
+                    policy=policy.name,
+                    baseline=base_run.metrics,
+                    candidate=run.metrics,
+                ))
+            runs[application.name] = per_app
+        return EvaluationSummary(comparisons=tuple(comparisons), runs=runs)

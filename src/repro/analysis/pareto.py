@@ -1,0 +1,118 @@
+"""Pareto-frontier extraction over the configuration space.
+
+The design-space sweeps of Section 3 implicitly ask a Pareto question:
+which configurations are *not dominated* — no other configuration is both
+faster and lower-power? The frontier is where every sane operating point
+lives; the Figure 6 metric optima (min energy, min ED², max performance)
+are all frontier members, and Harmonia's balance points should land on or
+near it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.sweep import ConfigSweep, SweepPoint
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ParetoFrontier:
+    """The perf/power Pareto frontier of one kernel's sweep."""
+
+    kernel: str
+    #: non-dominated points, ordered by ascending power
+    points: Tuple[SweepPoint, ...]
+    #: total points in the underlying sweep
+    swept: int
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def fraction_on_frontier(self) -> float:
+        """How selective the frontier is (|frontier| / |sweep|)."""
+        return len(self.points) / self.swept
+
+    def fastest(self) -> SweepPoint:
+        """The maximum-performance frontier point."""
+        return max(self.points, key=lambda p: p.performance)
+
+    def cheapest(self) -> SweepPoint:
+        """The minimum-power frontier point."""
+        return min(self.points, key=lambda p: p.card_power)
+
+    def knee_by_ed2(self) -> SweepPoint:
+        """The frontier point minimizing ED² (the paper's objective)."""
+        return min(self.points, key=lambda p: p.ed2)
+
+    def contains_config(self, config) -> bool:
+        """Whether a configuration sits on the frontier."""
+        return any(p.config == config for p in self.points)
+
+
+def pareto_frontier(sweep: ConfigSweep) -> ParetoFrontier:
+    """Extract the perf/power frontier from a full sweep.
+
+    A point is dominated if another point has (strictly better
+    performance and no more power) or (strictly less power and no less
+    performance).
+
+    Raises:
+        AnalysisError: for an empty sweep.
+    """
+    points = list(sweep.points)
+    if not points:
+        raise AnalysisError("empty sweep")
+    # Sort by power ascending, then performance descending; walk keeping
+    # points that improve on the best performance seen so far.
+    points.sort(key=lambda p: (p.card_power, -p.performance))
+    frontier: List[SweepPoint] = []
+    best_performance = -1.0
+    for point in points:
+        if point.performance > best_performance:
+            frontier.append(point)
+            best_performance = point.performance
+    return ParetoFrontier(
+        kernel=sweep.spec.name,
+        points=tuple(frontier),
+        swept=len(points),
+    )
+
+
+def distance_to_frontier(frontier: ParetoFrontier, config,
+                         platform=None, result=None) -> float:
+    """Relative performance gap between a configuration's outcome and the
+    frontier at the same (or lower) power.
+
+    Args:
+        frontier: the kernel's frontier.
+        config: the configuration to score.
+        platform: the test bed (used to run the kernel at ``config`` when
+            ``result`` is not supplied).
+        result: an already-measured
+            :class:`~repro.perf.result.KernelRunResult` at ``config``.
+
+    Returns:
+        ``0.0`` if the point is frontier-optimal for its power; positive
+        values are the fraction of performance left on the table.
+
+    Raises:
+        AnalysisError: when neither ``platform`` nor ``result`` is given.
+    """
+    if result is None:
+        if platform is None:
+            raise AnalysisError("need either a platform or a result")
+        from repro.workloads.registry import get_kernel
+        spec = get_kernel(frontier.kernel).base
+        result = platform.run_kernel(spec, config)
+    achievable = max(
+        (p.performance for p in frontier.points
+         if p.card_power <= result.power.card * 1.001),
+        default=None,
+    )
+    if achievable is None:
+        return 0.0
+    gap = (achievable - result.performance) / achievable
+    return max(0.0, gap)

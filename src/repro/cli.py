@@ -1,0 +1,311 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                      # applications and kernels
+    python -m repro run CoMD --policy harmonia
+    python -m repro evaluate                  # the Figures 10-13 headline
+    python -m repro figure fig10              # any paper table/figure
+    python -m repro sweep Sort.BottomScan     # design-space summary
+
+Every subcommand builds the deterministic simulated test bed, so output is
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import ConfigSweep
+from repro.experiments.context import ExperimentContext
+from repro.units import hz_to_mhz
+from repro.workloads.registry import all_kernels, application_names, get_kernel
+
+#: figure/table name -> (run, format_report) import paths, resolved lazily.
+_FIGURES: Dict[str, str] = {
+    "fig01": "fig01_power_breakdown",
+    "table1": "table1_dvfs",
+    "fig03": "fig03_balance",
+    "fig06": "fig06_metric_tradeoffs",
+    "fig07": "fig07_occupancy",
+    "fig08": "fig08_divergence",
+    "fig09": "fig09_clock_domains",
+    "table3": "table2_table3_models",
+    "fig14": "fig14_16_graph500",
+    "fig15": "fig14_16_graph500",
+    "fig16": "fig14_16_graph500",
+    "fig17": "fig17_power_sharing",
+    "fig18": "fig18_cg_vs_fg",
+    "sec72": "sec72_variants",
+    "ext-voltage": "ext_memory_voltage",
+    "ext-portability": "ext_portability",
+    "ext-capping": "ext_power_capping",
+    "ext-validation": "ext_model_validation",
+    "ext-recall": "ext_phase_memory",
+    "oracle-gap": "oracle_gap",
+    "ext-thermal": "ext_thermal_capping",
+}
+
+_POLICIES = ("baseline", "harmonia", "cg-only", "dvfs-only", "oracle")
+
+
+def _build_policy(context: ExperimentContext, name: str):
+    factories = {
+        "baseline": context.baseline_policy,
+        "harmonia": context.harmonia_policy,
+        "cg-only": context.cg_only_policy,
+        "dvfs-only": context.dvfs_only_policy,
+        "oracle": context.oracle_policy,
+    }
+    return factories[name]()
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """List the registered applications and kernels."""
+    from repro.workloads.registry import get_application
+
+    rows = []
+    for name in application_names():
+        app = get_application(name)
+        rows.append((name, app.suite, str(app.iterations),
+                     ", ".join(k.name.split(".", 1)[1] for k in app.kernels)))
+    print(format_table(
+        headers=("application", "suite", "iterations", "kernels"),
+        rows=rows,
+        title=f"{len(application_names())} applications / "
+              f"{len(all_kernels())} kernels (paper Section 6)",
+    ))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one application under one policy."""
+    from repro.runtime.simulator import ApplicationRunner
+
+    context = ExperimentContext()
+    if args.app not in application_names():
+        print(f"unknown application {args.app!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    app = context.application(args.app)
+    policy = _build_policy(context, args.policy)
+    baseline = context.baseline_policy()
+    runner = ApplicationRunner(context.platform)
+    base_run = runner.run(app, baseline)
+    run = runner.run(app, policy)
+
+    rows = []
+    for label, r in (("baseline", base_run), (args.policy, run)):
+        m = r.metrics
+        rows.append((label, f"{m.time * 1e3:.2f}", f"{m.energy:.3f}",
+                     f"{m.avg_power:.1f}", f"{m.ed2 * 1e6:.3f}"))
+    print(format_table(
+        headers=("policy", "time ms", "energy J", "power W", "ED2 uJ s^2"),
+        rows=rows,
+        title=f"{app.name}: {app.iterations} iterations x "
+              f"{len(app.kernels)} kernels",
+    ))
+
+    improvement = 1 - run.metrics.ed2 / base_run.metrics.ed2
+    perf = base_run.metrics.time / run.metrics.time - 1
+    print(f"\nED2 {improvement:+.1%}, performance {perf:+.1%}, power "
+          f"{1 - run.metrics.avg_power / base_run.metrics.avg_power:+.1%}")
+
+    print("\nmemory-bus residency:")
+    for f_mem, frac in sorted(run.trace.f_mem_residency().fractions.items()):
+        print(f"  {hz_to_mhz(f_mem):6.0f} MHz  {frac:6.1%}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Print the Figures 10-13 headline evaluation."""
+    from repro.experiments import fig10_13_evaluation
+
+    context = ExperimentContext()
+    result = fig10_13_evaluation.run(context)
+    print(fig10_13_evaluation.format_report(result))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Regenerate one paper table/figure."""
+    import importlib
+
+    key = args.name.lower()
+    if key in ("fig10", "fig11", "fig12", "fig13"):
+        from repro.experiments import fig10_13_evaluation as module
+        context = ExperimentContext()
+        result = fig10_13_evaluation_result = module.run(context)
+        formatter = getattr(module, f"format_{key}")
+        print(formatter(result))
+        return 0
+    if key == "fig04" or key == "fig05":
+        from repro.experiments import fig04_fig05_power_ranges as module
+        context = ExperimentContext()
+        if key == "fig04":
+            print(module.format_report(module.run_fig04(context), "70%"))
+        else:
+            print(module.format_report(module.run_fig05(context), "10%"))
+        return 0
+    if key not in _FIGURES:
+        known = ", ".join(sorted(set(_FIGURES) | {"fig04", "fig05", "fig10",
+                                                  "fig11", "fig12", "fig13"}))
+        print(f"unknown figure {args.name!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    module = importlib.import_module(f"repro.experiments.{_FIGURES[key]}")
+    context = ExperimentContext()
+    print(module.format_report(module.run(context)))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Design-space summary for one kernel."""
+    context = ExperimentContext()
+    try:
+        spec = get_kernel(args.kernel).base
+    except Exception:
+        print(f"unknown kernel {args.kernel!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    sweep = ConfigSweep(context.platform, spec)
+    best_perf = sweep.optimum_performance()
+    rows = []
+    for target, point in (("min energy", sweep.optimum_energy()),
+                          ("min ED2", sweep.optimum_ed2()),
+                          ("max perf", best_perf)):
+        rows.append((
+            target, point.config.describe(),
+            f"{point.performance / best_perf.performance:.2f}",
+            f"{point.energy / best_perf.energy:.2f}",
+            f"{point.card_power:.0f}",
+        ))
+    print(format_table(
+        headers=("target", "configuration", "perf", "energy", "power W"),
+        rows=rows,
+        title=f"{spec.name}: metric-optimal configurations over "
+              f"{len(sweep)} grid points",
+    ))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Regenerate every paper table/figure and write reports to a dir."""
+    import importlib
+    import pathlib
+    import time
+
+    out_dir = pathlib.Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    context = ExperimentContext()
+
+    # (report name, module, runner attr, formatter attr or callable)
+    from repro.experiments import fig04_fig05_power_ranges as f45
+    from repro.experiments import fig10_13_evaluation as f1013
+
+    simple = [
+        ("fig01_power_breakdown", "fig01_power_breakdown"),
+        ("table1_dvfs", "table1_dvfs"),
+        ("fig03_balance_points", "fig03_balance"),
+        ("fig06_metric_tradeoffs", "fig06_metric_tradeoffs"),
+        ("fig07_occupancy", "fig07_occupancy"),
+        ("fig08_divergence", "fig08_divergence"),
+        ("fig09_clock_domains", "fig09_clock_domains"),
+        ("table2_table3_models", "table2_table3_models"),
+        ("fig14_16_graph500", "fig14_16_graph500"),
+        ("fig17_power_sharing", "fig17_power_sharing"),
+        ("fig18_cg_vs_fg", "fig18_cg_vs_fg"),
+        ("sec72_variants", "sec72_variants"),
+        ("ext_memory_voltage", "ext_memory_voltage"),
+        ("ext_thermal_capping", "ext_thermal_capping"),
+        ("ext_model_validation", "ext_model_validation"),
+        ("ext_phase_memory", "ext_phase_memory"),
+        ("ext_power_capping", "ext_power_capping"),
+        ("ext_portability", "ext_portability"),
+        ("oracle_gap", "oracle_gap"),
+        ("characterization", "characterization"),
+    ]
+
+    started = time.time()
+    count = 0
+
+    def emit(name: str, text: str) -> None:
+        nonlocal count
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        count += 1
+        print(f"[{count:2d}] {name}")
+
+    emit("fig04_compute_power",
+         f45.format_report(f45.run_fig04(context), "70%"))
+    emit("fig05_memory_power",
+         f45.format_report(f45.run_fig05(context), "10%"))
+    evaluation = f1013.run(context)
+    emit("fig10_ed2", f1013.format_fig10(evaluation))
+    emit("fig11_energy", f1013.format_fig11(evaluation))
+    emit("fig12_power", f1013.format_fig12(evaluation))
+    emit("fig13_performance", f1013.format_fig13(evaluation))
+    for report_name, module_name in simple:
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        emit(report_name, module.format_report(module.run(context)))
+    if args.ablations:
+        from repro.experiments import ablations
+        for study_name, study in ablations.ALL_STUDIES:
+            emit(f"ablation_{study_name}",
+                 ablations.format_report(study(context)))
+
+    print(f"\n{count} reports written to {out_dir} "
+          f"in {time.time() - started:.1f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Harmonia (ISCA 2015) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications and kernels") \
+        .set_defaults(func=cmd_list)
+
+    run_p = sub.add_parser("run", help="run one application under a policy")
+    run_p.add_argument("app", help="application name (see: list)")
+    run_p.add_argument("--policy", choices=_POLICIES, default="harmonia")
+    run_p.set_defaults(func=cmd_run)
+
+    sub.add_parser("evaluate", help="the Figures 10-13 headline") \
+        .set_defaults(func=cmd_evaluate)
+
+    fig_p = sub.add_parser("figure", help="regenerate one table/figure")
+    fig_p.add_argument("name", help="e.g. fig10, table1, ext-thermal")
+    fig_p.set_defaults(func=cmd_figure)
+
+    sweep_p = sub.add_parser("sweep", help="design-space summary of a kernel")
+    sweep_p.add_argument("kernel", help="qualified name, e.g. Sort.BottomScan")
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    repro_p = sub.add_parser(
+        "reproduce", help="regenerate every table/figure report"
+    )
+    repro_p.add_argument("--output", default="reports",
+                         help="output directory (default: ./reports)")
+    repro_p.add_argument("--ablations", action="store_true",
+                         help="also run the six ablation studies")
+    repro_p.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

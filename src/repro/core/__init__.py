@@ -1,0 +1,35 @@
+"""Power-management policies: the paper's contribution and its comparators.
+
+* :mod:`repro.core.policy` — the policy protocol and shared history state,
+* :mod:`repro.core.baseline` — the shipping PowerTune baseline (boost),
+* :mod:`repro.core.coarse` — the CG block (sensitivity-binned jumps),
+* :mod:`repro.core.fine` — the FG block (utilization-gradient hill climb),
+* :mod:`repro.core.harmonia` — Harmonia = monitoring + CG + FG
+  (Algorithm 1),
+* :mod:`repro.core.oracle` — the exhaustive ED² oracle,
+* :mod:`repro.core.variants` — CG-only and compute-DVFS-only policies.
+"""
+
+from repro.core.policy import KernelHistory, LaunchContext, PowerPolicy
+from repro.core.baseline import BaselinePolicy
+from repro.core.capping import PowerCapPolicy
+from repro.core.coarse import CoarseGrainTuner
+from repro.core.fine import FineGrainTuner, FineGrainState
+from repro.core.harmonia import HarmoniaPolicy
+from repro.core.oracle import OraclePolicy
+from repro.core.variants import ComputeDvfsOnlyPolicy, make_cg_only_policy
+
+__all__ = [
+    "KernelHistory",
+    "LaunchContext",
+    "PowerPolicy",
+    "BaselinePolicy",
+    "PowerCapPolicy",
+    "CoarseGrainTuner",
+    "FineGrainTuner",
+    "FineGrainState",
+    "HarmoniaPolicy",
+    "OraclePolicy",
+    "ComputeDvfsOnlyPolicy",
+    "make_cg_only_policy",
+]

@@ -1,0 +1,61 @@
+"""The shipping PowerTune baseline (Sections 2.3 and 7).
+
+AMD PowerTune manages the GPU between the DPM states of Table 1 plus the
+1 GHz boost state, based on power and thermal headroom. "Due to the
+consistent availability of thermal headroom, the baseline power management
+always runs at the boost frequency of 1 GHz for all applications"
+(Section 7) — with all 32 CUs active and the memory bus at its maximum —
+so the baseline policy resolves to the maximum configuration for every
+launch. The headroom logic is still modelled (a TDP check against the
+previous launch's card power) so that constrained scenarios degrade to
+DPM2 exactly as PowerTune would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.config import ConfigSpace, HardwareConfig
+from repro.perf.result import KernelRunResult
+from repro.core.policy import HistoryMixin, LaunchContext
+
+
+class BaselinePolicy(HistoryMixin):
+    """PowerTune-style baseline: boost whenever headroom allows.
+
+    Args:
+        space: the platform configuration grid.
+        tdp_watts: board power limit; if a launch exceeded it, the next
+            launch falls back from boost to the DPM2 frequency. The
+            paper's rig never hits this (fan pinned at max RPM), so the
+            default is comfortably above any modelled draw.
+    """
+
+    def __init__(self, space: ConfigSpace, tdp_watts: float = 250.0):
+        super().__init__()
+        self._space = space
+        self._tdp = tdp_watts
+        freqs = space.compute_frequencies
+        # DPM2 is the highest non-boost state: one grid step below max.
+        self._dpm2_f_cu = freqs[-2] if len(freqs) > 1 else freqs[-1]
+
+    @property
+    def name(self) -> str:
+        """Policy name."""
+        return "baseline"
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self.clear_history()
+
+    def config_for(self, context: LaunchContext) -> HardwareConfig:
+        """Boost configuration, or DPM2 when the TDP was exceeded."""
+        boost = self._space.max_config()
+        last = self.history_for(context.kernel_name).last_result
+        if last is not None and last.power.card > self._tdp:
+            return boost.replace(f_cu=self._dpm2_f_cu)
+        return boost
+
+    def observe(self, context: LaunchContext, result: KernelRunResult) -> None:
+        """Record the launch for the headroom check."""
+        self.history_for(context.kernel_name).record(result)

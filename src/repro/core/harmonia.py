@@ -1,0 +1,269 @@
+"""Harmonia: two-level coordinated power management (Algorithm 1).
+
+Per kernel, at every kernel boundary:
+
+1. **Monitor** — read the completed launch's counters; fold them into the
+   kernel's running feature average (:class:`~repro.core.monitor.
+   MonitoringBlock`); detect workload phase changes from config-invariant
+   identity counters (:class:`~repro.core.monitor.PhaseDetector`).
+2. **CG** — on a genuine workload phase change, predict compute and
+   bandwidth sensitivities (Table 3 models), bin them HIGH/MED/LOW, and
+   jump all tunables with ``SetCU_Freq_MemBW``. Algorithm 1's guard —
+   "we only execute CG when there have been no changes in the hardware
+   tunables prior to the sensitivity change" — is enforced by
+   construction: the phase detector reacts only to counters the hardware
+   tunables cannot move (instruction totals, divergence, registers), so a
+   sensitivity change induced by our own configuration change can never
+   re-trigger CG. This replaces the pseudo-code's revert-and-retry dance
+   with the same isolation guarantee and no oscillation.
+3. **FG** — within a stable phase, fine-tune one grid step at a time on
+   the utilization-rate gradient (:class:`~repro.core.fine.
+   FineGrainTuner`): decrement while performance holds, revert and try the
+   opposite direction when it degrades, freeze dead tunables, and after
+   too much dithering converge to the cheapest state with best feedback.
+
+Kernel history is retained across application iterations — "Harmonia
+records the last best hardware configuration for all kernels within that
+application. This state is the initial state for the subsequent iteration"
+(Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.coarse import CoarseGrainTuner, SensitivitySnapshot, TUNABLES
+from repro.core.fine import FineGrainState, FineGrainTuner, utilization_rate
+from repro.core.monitor import MonitoringBlock, PhaseDetector, PhaseMemory
+from repro.core.policy import HistoryMixin, KernelHistory, LaunchContext
+from repro.gpu.config import ConfigSpace, HardwareConfig
+from repro.perf.result import KernelRunResult
+from repro.sensitivity.binning import SensitivityBins
+from repro.sensitivity.predictor import SensitivityPredictor
+
+
+@dataclass
+class _KernelControlState:
+    """Controller state for one kernel beyond the generic history."""
+
+    fg: FineGrainState = field(default_factory=FineGrainState)
+    last_snapshot: Optional[SensitivitySnapshot] = None
+    #: count of CG jumps taken (for the Figure 18 CG/FG attribution)
+    cg_actions: int = 0
+    #: count of FG steps taken
+    fg_actions: int = 0
+    #: count of detected workload phase changes
+    phase_changes: int = 0
+    #: observations since the current phase started
+    phase_age: int = 0
+    #: count of phase-memory recalls (recurring phases restored directly)
+    phase_recalls: int = 0
+    #: identity of the phase currently executing (for exit snapshots)
+    last_identity: Optional[Tuple] = None
+
+
+class HarmoniaPolicy(HistoryMixin):
+    """The paper's two-level controller.
+
+    Args:
+        space: the platform configuration grid.
+        compute_predictor: Table 3 compute-throughput sensitivity model.
+        bandwidth_predictor: Table 3 bandwidth sensitivity model.
+        bins: sensitivity binning (defaults to the paper's 30%/70%).
+        enable_fg: disable for the CG-only comparator of Figures 10-13.
+        tunables: tunables the controller may move (the compute-DVFS-only
+            variant of Section 7.2 passes ``("f_cu",)``).
+        max_dithering: FG oscillation bound before convergence.
+        tolerance: FG relative-feedback tolerance.
+        monitor_alpha: EWMA weight of the monitoring block.
+        phase_threshold: relative identity-counter change that declares a
+            workload phase change.
+        fg_patience: observations a phase must survive before the FG loop
+            starts probing. Rapidly phase-changing kernels (Graph500's BFS
+            levels) would otherwise pay a probe-iteration penalty inside
+            every short phase; stable kernels merely start FG one
+            iteration later. The CG-jump validation is exempt — a bad
+            jump is reverted immediately regardless of patience.
+        enable_phase_memory: when a previously seen phase recurs, restore
+            its last settled configuration instead of re-running CG from
+            scratch (Section 5.1's per-kernel history, generalized to
+            phases).
+        policy_name: report name override.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        compute_predictor: SensitivityPredictor,
+        bandwidth_predictor: SensitivityPredictor,
+        bins: Optional[SensitivityBins] = None,
+        enable_fg: bool = True,
+        tunables: Tuple[str, ...] = TUNABLES,
+        max_dithering: int = 8,
+        tolerance: float = 0.01,
+        monitor_alpha: float = 0.4,
+        phase_threshold: float = 0.10,
+        fg_patience: int = 3,
+        enable_phase_memory: bool = True,
+        policy_name: Optional[str] = None,
+    ):
+        super().__init__()
+        self._space = space
+        self._cg = CoarseGrainTuner(
+            space=space,
+            compute_predictor=compute_predictor,
+            bandwidth_predictor=bandwidth_predictor,
+            bins=bins,
+            tunables=frozenset(tunables),
+        )
+        self._fg = FineGrainTuner(
+            space=space,
+            tunables=tunables,
+            max_dithering=max_dithering,
+            tolerance=tolerance,
+        )
+        self._monitor = MonitoringBlock(alpha=monitor_alpha)
+        self._phases = PhaseDetector(threshold=phase_threshold)
+        self._phase_memory = (
+            PhaseMemory(threshold=phase_threshold)
+            if enable_phase_memory else None
+        )
+        self._enable_fg = enable_fg
+        if fg_patience < 1:
+            raise ValueError("fg_patience must be >= 1")
+        self._fg_patience = fg_patience
+        self._control: Dict[str, _KernelControlState] = {}
+        default_name = "harmonia" if enable_fg else "cg-only"
+        self._name = policy_name or default_name
+
+    @property
+    def name(self) -> str:
+        """Policy name."""
+        return self._name
+
+    @property
+    def monitor(self) -> MonitoringBlock:
+        """The monitoring block (exposed for analysis)."""
+        return self._monitor
+
+    @property
+    def coarse_tuner(self) -> CoarseGrainTuner:
+        """The CG block (exposed for analysis)."""
+        return self._cg
+
+    @property
+    def phase_memory(self) -> Optional[PhaseMemory]:
+        """The per-phase configuration memory (None when disabled)."""
+        return self._phase_memory
+
+    def reset(self) -> None:
+        """Forget all per-kernel state (between applications)."""
+        self.clear_history()
+        self._control.clear()
+        self._monitor.reset()
+        self._phases.reset()
+        if self._phase_memory is not None:
+            self._phase_memory.reset()
+
+    def control_state(self, kernel_name: str) -> _KernelControlState:
+        """The (auto-created) controller state of one kernel."""
+        if kernel_name not in self._control:
+            self._control[kernel_name] = _KernelControlState()
+        return self._control[kernel_name]
+
+    # --- policy interface ---------------------------------------------------------
+
+    def config_for(self, context: LaunchContext) -> HardwareConfig:
+        """The configuration assigned to this kernel's next launch."""
+        history = self.history_for(context.kernel_name)
+        if history.current_config is None:
+            # First launch: inherit the baseline (boost) operating point.
+            history.current_config = self._space.max_config()
+        return history.current_config
+
+    def observe(self, context: LaunchContext, result: KernelRunResult) -> None:
+        """Algorithm 1's monitoring + decision step."""
+        history = self.history_for(context.kernel_name)
+        control = self.control_state(context.kernel_name)
+        requested = history.current_config
+        history.record(result)
+
+        if requested is not None and result.config != requested:
+            # An outer layer (e.g. a thermal governor, Section 2.3's
+            # PowerTune enforcement) overrode our request. The launch's
+            # feedback is not attributable to any FG move, so drop the
+            # in-flight step and hold our own decision.
+            control.fg.abort_inflight()
+            self._phases.phase_changed(context.kernel_name, result.counters)
+            self._monitor.update(context.kernel_name, result.counters)
+            return
+
+        phase_changed = self._phases.phase_changed(
+            context.kernel_name, result.counters
+        )
+        if phase_changed:
+            # New workload phase: restart the feature average and FG state.
+            self._monitor.reset_kernel(context.kernel_name)
+            control.phase_changes += 1
+            control.phase_age = 0
+            control.fg.restart()
+        control.phase_age += 1
+        features = self._monitor.update(context.kernel_name, result.counters)
+        snapshot = self._cg.snapshot_from_features(features)
+
+        identity = self._phases.identity_of(result.counters)
+        if phase_changed:
+            recalled = (
+                self._phase_memory.recall(context.kernel_name, identity)
+                if self._phase_memory is not None else None
+            )
+            if recalled is not None:
+                # A previously seen phase recurs: restore its last settled
+                # configuration directly (Section 5.1's history, per phase).
+                control.phase_recalls += 1
+                next_config = recalled
+            else:
+                next_config = self._cg_jump(control, snapshot, result.config)
+            if self._enable_fg and next_config != result.config:
+                # Arm the FG loop to validate the jump (or the recall)
+                # against the pre-jump utilization rate (Section 7.3,
+                # insight 4) — both feedbacks are measured on the new
+                # phase, so the comparison is meaningful.
+                control.fg.prime_cg_validation(
+                    before_config=result.config,
+                    before_feedback=utilization_rate(result),
+                )
+            control.last_identity = identity
+        elif self._enable_fg and (
+            control.phase_age > self._fg_patience
+            or control.fg.inflight is not None
+        ):
+            control.fg_actions += 1
+            tunable_bins = {
+                "n_cu": snapshot.compute_bin,
+                "f_cu": snapshot.compute_bin,
+                "f_mem": snapshot.bandwidth_bin,
+            }
+            next_config = self._fg.propose(
+                control.fg, result.config, utilization_rate(result), tunable_bins
+            )
+        else:
+            next_config = result.config
+
+        history.previous_config = result.config
+        history.config_changed_last = next_config != result.config
+        history.current_config = next_config
+        control.last_snapshot = snapshot
+        if self._phase_memory is not None and control.fg.inflight is None:
+            # Remember the phase's configuration only at settle points —
+            # never a transient FG probe awaiting its feedback.
+            self._phase_memory.remember(
+                context.kernel_name, identity, next_config
+            )
+
+    def _cg_jump(self, control: _KernelControlState,
+                 snapshot: SensitivitySnapshot,
+                 current: HardwareConfig) -> HardwareConfig:
+        control.cg_actions += 1
+        return self._cg.target_config(snapshot, current)

@@ -1,0 +1,66 @@
+"""The ED² oracle (Section 7).
+
+"We also compare Harmonia with an oracle scheme optimized for ED² based on
+exhaustive online profiling of every iteration of each kernel across all
+of the 450 possible hardware configurations. While the oracle technique
+provides a useful basis for evaluation, it is impractical to implement."
+
+The oracle launches every (kernel, iteration) at all grid configurations
+and picks the one minimizing the launch's ED². Profiling launches are not
+charged to the run (the paper's oracle is an offline bound, not a
+deployable policy). Distinct iterations of a phased kernel are profiled
+separately; repeated identical specs hit a cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.policy import HistoryMixin, LaunchContext
+from repro.gpu.config import HardwareConfig
+from repro.perf.kernelspec import KernelSpec
+from repro.perf.result import KernelRunResult
+from repro.platform.hd7970 import HardwarePlatform
+from repro.runtime.metrics import ed2
+
+
+class OraclePolicy(HistoryMixin):
+    """Exhaustive-search ED²-optimal configuration per launch."""
+
+    def __init__(self, platform: HardwarePlatform):
+        super().__init__()
+        self._platform = platform
+        self._cache: Dict[KernelSpec, HardwareConfig] = {}
+
+    @property
+    def name(self) -> str:
+        """Policy name."""
+        return "oracle"
+
+    def reset(self) -> None:
+        """Forget history (the profile cache survives: it is exact)."""
+        self.clear_history()
+
+    def best_config_for_spec(self, spec: KernelSpec) -> HardwareConfig:
+        """ED²-optimal grid configuration for one kernel spec."""
+        if spec in self._cache:
+            return self._cache[spec]
+        best_config: Optional[HardwareConfig] = None
+        best_metric = float("inf")
+        for config in self._platform.config_space:
+            result = self._platform.run_kernel(spec, config)
+            metric = ed2(result.energy, result.time)
+            if metric < best_metric:
+                best_metric = metric
+                best_config = config
+        assert best_config is not None
+        self._cache[spec] = best_config
+        return best_config
+
+    def config_for(self, context: LaunchContext) -> HardwareConfig:
+        """Profile this launch's spec exhaustively and pick the ED² best."""
+        return self.best_config_for_spec(context.spec)
+
+    def observe(self, context: LaunchContext, result: KernelRunResult) -> None:
+        """Record for completeness; the oracle needs no feedback."""
+        self.history_for(context.kernel_name).record(result)

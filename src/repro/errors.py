@@ -1,0 +1,50 @@
+"""Exception hierarchy for the Harmonia reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything originating here with a single ``except`` clause while
+still being able to discriminate on the specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid hardware configuration was requested.
+
+    Raised when a requested tunable value is outside the platform's
+    supported range or not on the platform's step grid (e.g. a CU count
+    of 5 when the HD7970 only supports multiples of 4).
+    """
+
+
+class KernelSpecError(ReproError):
+    """A kernel description is internally inconsistent.
+
+    Examples: negative instruction counts, register usage above the
+    physical register file size, a divergence fraction outside [0, 1].
+    """
+
+
+class CalibrationError(ReproError):
+    """A calibration constant is out of its physically meaningful range."""
+
+
+class PolicyError(ReproError):
+    """A power-management policy was driven with inconsistent state.
+
+    For example, asking the fine-grain tuner for a decision before any
+    monitoring sample exists, or feeding a policy a kernel result from a
+    configuration it did not request.
+    """
+
+
+class WorkloadError(ReproError):
+    """An application or kernel lookup failed, or a phase schedule is bad."""
+
+
+class AnalysisError(ReproError):
+    """A sweep/analysis helper was used on inconsistent data."""

@@ -1,0 +1,112 @@
+"""Shared experiment stack: platform, predictors, evaluation matrix.
+
+Building the test bed is cheap, but training the Section 4 predictors and
+running the four-policy evaluation matrix over all fourteen applications
+is not free; every experiment that needs them shares one cached instance.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.evaluation import EvaluationHarness, EvaluationSummary
+from repro.core.baseline import BaselinePolicy
+from repro.core.harmonia import HarmoniaPolicy
+from repro.core.oracle import OraclePolicy
+from repro.core.variants import ComputeDvfsOnlyPolicy, make_cg_only_policy
+from repro.platform.hd7970 import HardwarePlatform, make_hd7970_platform
+from repro.sensitivity.predictor import TrainingReport, train_predictors
+from repro.workloads.application import Application
+from repro.workloads.registry import all_applications
+
+
+class ExperimentContext:
+    """Lazily-built shared stack for all paper experiments."""
+
+    def __init__(self, platform: Optional[HardwarePlatform] = None):
+        self._platform = platform or make_hd7970_platform()
+        self._applications: Optional[List[Application]] = None
+        self._training: Optional[TrainingReport] = None
+        self._summary: Optional[EvaluationSummary] = None
+
+    @property
+    def platform(self) -> HardwarePlatform:
+        """The simulated HD7970 test bed."""
+        return self._platform
+
+    @property
+    def applications(self) -> List[Application]:
+        """The paper's 14 applications (built once)."""
+        if self._applications is None:
+            self._applications = all_applications()
+        return self._applications
+
+    def application(self, name: str) -> Application:
+        """Look up one of the cached applications by name."""
+        for app in self.applications:
+            if app.name == name:
+                return app
+        raise KeyError(name)
+
+    @property
+    def training(self) -> TrainingReport:
+        """The Section 4 predictor-training pipeline output (cached)."""
+        if self._training is None:
+            self._training = train_predictors(self._platform, self.applications)
+        return self._training
+
+    # --- policies -----------------------------------------------------------
+
+    def baseline_policy(self) -> BaselinePolicy:
+        """A fresh PowerTune baseline policy."""
+        return BaselinePolicy(self._platform.config_space)
+
+    def harmonia_policy(self) -> HarmoniaPolicy:
+        """A fresh Harmonia (FG+CG) policy with trained predictors."""
+        training = self.training
+        return HarmoniaPolicy(
+            self._platform.config_space, training.compute, training.bandwidth
+        )
+
+    def cg_only_policy(self) -> HarmoniaPolicy:
+        """A fresh CG-only policy."""
+        training = self.training
+        return make_cg_only_policy(
+            self._platform.config_space, training.compute, training.bandwidth
+        )
+
+    def dvfs_only_policy(self) -> ComputeDvfsOnlyPolicy:
+        """A fresh compute-DVFS-only policy (Section 7.2)."""
+        training = self.training
+        return ComputeDvfsOnlyPolicy(
+            self._platform.config_space, training.compute, training.bandwidth
+        )
+
+    def oracle_policy(self) -> OraclePolicy:
+        """A fresh exhaustive ED² oracle."""
+        return OraclePolicy(self._platform)
+
+    # --- the Figures 10-13 matrix -----------------------------------------------------------
+
+    @property
+    def evaluation(self) -> EvaluationSummary:
+        """Baseline vs CG vs Harmonia vs oracle vs DVFS-only, cached."""
+        if self._summary is None:
+            harness = EvaluationHarness(self._platform, self.baseline_policy())
+            self._summary = harness.evaluate(
+                self.applications,
+                [
+                    self.cg_only_policy(),
+                    self.harmonia_policy(),
+                    self.oracle_policy(),
+                    self.dvfs_only_policy(),
+                ],
+            )
+        return self._summary
+
+
+@lru_cache(maxsize=1)
+def default_context() -> ExperimentContext:
+    """The process-wide shared context (deterministic platform)."""
+    return ExperimentContext()

@@ -1,0 +1,127 @@
+"""Extension: cross-validation of the analytical performance model.
+
+The entire reproduction rests on the analytical model's execution-time
+surfaces. This experiment validates them against the independent
+event-driven wavefront simulator (:mod:`repro.perf.eventsim`), which
+shares only the machine description and memory-bandwidth inputs — its
+scheduling, queueing and stall behaviour are modelled from scratch.
+
+For every one of the 25 kernels, both models evaluate a spread of
+hardware configurations; the experiment reports the per-kernel relative
+time deviation and the correlation of the two models' performance
+rankings across the configuration sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.report import format_table
+from repro.experiments.context import ExperimentContext, default_context
+from repro.memory.controller import MemoryControllerModel
+from repro.perf.eventsim import EventDrivenModel
+from repro.sensitivity.regression import pearson
+from repro.units import MHZ
+from repro.workloads.registry import all_kernels
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One kernel's analytical-vs-event-driven agreement."""
+
+    kernel: str
+    mean_abs_deviation: float
+    max_abs_deviation: float
+    rank_correlation: float
+
+
+@dataclass(frozen=True)
+class ModelValidationResult:
+    """Agreement across all kernels."""
+
+    rows: Tuple[ValidationRow, ...]
+    configs_per_kernel: int
+
+    def worst_mean_deviation(self) -> float:
+        """Largest per-kernel mean deviation."""
+        return max(r.mean_abs_deviation for r in self.rows)
+
+    def overall_mean_deviation(self) -> float:
+        """Mean of the per-kernel mean deviations."""
+        return sum(r.mean_abs_deviation for r in self.rows) / len(self.rows)
+
+    def min_correlation(self) -> float:
+        """Weakest per-kernel performance-ranking correlation."""
+        return min(r.rank_correlation for r in self.rows)
+
+
+def _sample_configs(space) -> List:
+    """A 3x3x3 corner/midpoint sample of the configuration grid."""
+    cus = (space.cu_counts[0], space.cu_counts[3], space.cu_counts[-1])
+    f_cus = (space.compute_frequencies[0], space.compute_frequencies[4],
+             space.compute_frequencies[-1])
+    f_mems = (space.memory_frequencies[0], space.memory_frequencies[3],
+              space.memory_frequencies[-1])
+    from repro.gpu.config import HardwareConfig
+    return [
+        HardwareConfig(n, f, m)
+        for n in cus for f in f_cus for m in f_mems
+    ]
+
+
+def run(context: ExperimentContext = None) -> ModelValidationResult:
+    """Run both models over all kernels and a 27-point config sample."""
+    context = context or default_context()
+    platform = context.platform
+    calibration = platform.calibration
+    controller = MemoryControllerModel(
+        arch=calibration.arch, timing=calibration.gddr5_timing
+    )
+    event_model = EventDrivenModel(
+        calibration.arch, controller, calibration.clock_domain_model()
+    )
+    configs = _sample_configs(platform.config_space)
+
+    rows = []
+    for kernel in all_kernels():
+        analytical = []
+        event_driven = []
+        for config in configs:
+            analytical.append(platform.run_kernel(kernel.base, config).time)
+            event_driven.append(event_model.run(kernel.base, config).time)
+        deviations = [abs(e / a - 1.0)
+                      for a, e in zip(analytical, event_driven)]
+        correlation = pearson(
+            [1.0 / t for t in analytical], [1.0 / t for t in event_driven]
+        )
+        rows.append(ValidationRow(
+            kernel=kernel.name,
+            mean_abs_deviation=sum(deviations) / len(deviations),
+            max_abs_deviation=max(deviations),
+            rank_correlation=correlation,
+        ))
+    return ModelValidationResult(rows=tuple(rows),
+                                 configs_per_kernel=len(configs))
+
+
+def format_report(result: ModelValidationResult) -> str:
+    """Render the per-kernel agreement table."""
+    rows = [
+        (r.kernel, f"{r.mean_abs_deviation:.1%}",
+         f"{r.max_abs_deviation:.1%}", f"{r.rank_correlation:.3f}")
+        for r in result.rows
+    ]
+    rows.append((
+        "OVERALL",
+        f"{result.overall_mean_deviation():.1%}",
+        f"{result.worst_mean_deviation():.1%} (worst kernel mean)",
+        f"{result.min_correlation():.3f} (min)",
+    ))
+    return format_table(
+        headers=("kernel", "mean |dev|", "max |dev|", "perf correlation"),
+        rows=rows,
+        title=("Extension [model validation]: analytical vs event-driven "
+               f"execution times over {result.configs_per_kernel} "
+               "configurations per kernel"),
+    )

@@ -1,0 +1,140 @@
+"""Figures 10-13: the headline evaluation.
+
+Baseline (PowerTune boost) vs CG-only vs Harmonia (FG+CG) vs the ED²
+oracle over all fourteen applications. Paper anchors:
+
+* **Figure 10 (ED²)** — Harmonia improves ED² by 12% on average (up to
+  36% on BPT), of which ~6 points come from CG; Harmonia lands within
+  ~3% of the oracle on average. Two geomeans are reported; "Geomean 2"
+  excludes the MaxFlops/DeviceMemory stress benchmarks.
+* **Figure 11 (energy)** — CG and FG+CG save nearly identical energy
+  (the FG loop adds only ~2%); its role is protecting performance.
+* **Figure 12 (power)** — 12% average card-power saving, up to ~19%.
+* **Figure 13 (performance)** — Harmonia loses only 0.36% on average
+  (max 3.6%, Streamcluster); CG-only loses 2.2% on average with a 27%
+  worst case (Streamcluster); BPT gains 11%, CFD and XSBench gain ~3%
+  from reduced L2 interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.analysis.evaluation import EvaluationSummary
+from repro.analysis.report import format_table
+from repro.experiments.context import ExperimentContext, default_context
+
+#: Candidate policies in presentation order.
+POLICIES: Tuple[str, ...] = ("cg-only", "harmonia", "oracle")
+
+#: Paper headline anchors, used by the report footers and the tests.
+PAPER_ANCHORS: Mapping[str, float] = {
+    "harmonia_ed2_avg": 0.12,
+    "harmonia_ed2_max": 0.36,
+    "cg_share_of_ed2": 0.06,
+    "oracle_gap": 0.03,
+    "harmonia_perf_avg": -0.0036,
+    "harmonia_perf_worst": -0.036,
+    "cg_perf_avg": -0.022,
+    "cg_perf_worst": -0.27,
+    "power_saving_avg": 0.12,
+    "power_saving_max": 0.19,
+    "bpt_perf_gain": 0.11,
+}
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """The full Figures 10-13 data."""
+
+    summary: EvaluationSummary
+    applications: Tuple[str, ...]
+
+    def per_app(self, policy: str, attribute: str) -> Dict[str, float]:
+        """One metric for one policy across all applications."""
+        return {
+            app: getattr(self.summary.comparison(app, policy), attribute)
+            for app in self.applications
+        }
+
+
+def run(context: ExperimentContext = None) -> EvaluationResult:
+    """Run (or fetch the cached) evaluation matrix."""
+    context = context or default_context()
+    apps = tuple(app.name for app in context.applications)
+    return EvaluationResult(summary=context.evaluation, applications=apps)
+
+
+def _figure_report(result: EvaluationResult, attribute: str, title: str,
+                   footer_rows: List[Tuple[str, str, str]]) -> str:
+    rows = []
+    for app in result.applications:
+        cells = [app]
+        for policy in POLICIES:
+            value = getattr(result.summary.comparison(app, policy), attribute)
+            cells.append(f"{value:+.1%}")
+        rows.append(tuple(cells))
+    for label, geo_kind, paper in footer_rows:
+        cells = [label]
+        exclude = geo_kind == "geomean2"
+        for policy in POLICIES:
+            value = result.summary.geomean(policy, attribute, exclude)
+            cells.append(f"{value:+.1%}")
+        rows.append(tuple(cells))
+    table = format_table(
+        headers=("application",) + POLICIES,
+        rows=rows,
+        title=title,
+    )
+    return table
+
+
+def format_fig10(result: EvaluationResult) -> str:
+    """Figure 10: ED² improvement."""
+    return _figure_report(
+        result, "ed2_improvement",
+        "Figure 10: ED2 improvement over baseline "
+        "(paper: Harmonia 12% avg / 36% max, within ~3% of oracle)",
+        [("geomean 1", "geomean1", ""), ("geomean 2", "geomean2", "")],
+    )
+
+
+def format_fig11(result: EvaluationResult) -> str:
+    """Figure 11: energy improvement."""
+    return _figure_report(
+        result, "energy_improvement",
+        "Figure 11: energy improvement over baseline "
+        "(paper: CG and FG+CG nearly identical)",
+        [("geomean 1", "geomean1", ""), ("geomean 2", "geomean2", "")],
+    )
+
+
+def format_fig12(result: EvaluationResult) -> str:
+    """Figure 12: power saving."""
+    return _figure_report(
+        result, "power_saving",
+        "Figure 12: card power saving over baseline "
+        "(paper: 12% avg, up to ~19%)",
+        [("geomean 1", "geomean1", ""), ("geomean 2", "geomean2", "")],
+    )
+
+
+def format_fig13(result: EvaluationResult) -> str:
+    """Figure 13: performance delta."""
+    return _figure_report(
+        result, "performance_delta",
+        "Figure 13: performance vs baseline (paper: Harmonia -0.36% avg / "
+        "-3.6% max; CG-only -2.2% avg / -27% max; BPT +11%)",
+        [("geomean 1", "geomean1", ""), ("geomean 2", "geomean2", "")],
+    )
+
+
+def format_report(result: EvaluationResult) -> str:
+    """All four figures."""
+    return "\n\n".join([
+        format_fig10(result),
+        format_fig11(result),
+        format_fig12(result),
+        format_fig13(result),
+    ])

@@ -1,0 +1,196 @@
+"""Machine description of the AMD Radeon HD7970 (GCN, Southern Islands).
+
+All figures are taken directly from Section 2.2 of the paper and the GCN
+architecture disclosure [Mantor & Houston, AFDS 2011]:
+
+* up to 32 compute units (CUs), 4 SIMD vector units per CU,
+* 16 processing elements (ALUs) per SIMD vector unit,
+* wavefront width 64 (one wavefront issues over 4 cycles on a 16-wide SIMD),
+* 256 vector registers (VGPRs) per SIMD lane, 512 physical per SIMD with a
+  per-wave addressing limit of 256; the paper normalizes VGPR usage to 256,
+* scalar register file normalized to 102 usable SGPRs per wave,
+* 64 KB local data share (LDS) per CU, 16 KB L1 data cache per CU,
+* a shared 768 KB L2 cache,
+* six 64-bit dual-channel GDDR5 memory controllers, 264 GB/s peak,
+* a maximum of 10 wavefronts in flight per SIMD (40 per CU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.gpu.dvfs import GpuDvfsTable, HD7970_DVFS_TABLE
+from repro.units import GB_PER_S, KB, MHZ
+
+
+@dataclass(frozen=True)
+class GpuArchitecture:
+    """Static architectural parameters of a GCN-class discrete GPU."""
+
+    name: str
+    #: maximum number of compute units on the die
+    max_compute_units: int
+    #: granularity at which CUs can be activated / power-gated
+    cu_step: int
+    #: minimum number of CUs that can be left active
+    min_compute_units: int
+    #: SIMD vector units per CU
+    simds_per_cu: int
+    #: processing elements (lanes) per SIMD
+    lanes_per_simd: int
+    #: workitems per wavefront
+    wavefront_width: int
+    #: maximum wavefronts concurrently resident per SIMD
+    max_waves_per_simd: int
+    #: vector registers addressable per workitem (normalization base, Table 2)
+    vgprs_per_simd: int
+    #: scalar registers per wave (normalization base, Table 2)
+    sgprs_per_wave_file: int
+    #: local data share per CU, bytes
+    lds_per_cu: int
+    #: maximum workgroups concurrently resident per CU
+    max_workgroups_per_cu: int
+    #: L1 data cache per CU, bytes
+    l1_per_cu: int
+    #: shared L2 cache, bytes
+    l2_size: int
+    #: L2 cache line size, bytes
+    l2_line_size: int
+    #: number of memory controllers
+    memory_controllers: int
+    #: memory bus width per controller, bits
+    bus_width_bits_per_mc: int
+    #: GDDR5 transfer rate multiplier (quad data rate on the command clock)
+    gddr5_transfer_rate: int
+    #: supported memory bus frequencies, Hz (ascending)
+    memory_bus_frequencies: tuple
+    #: compute frequency grid, Hz (ascending)
+    compute_frequencies: tuple
+    #: the GPU DVFS voltage/frequency table
+    dvfs_table: GpuDvfsTable
+
+    def __post_init__(self) -> None:
+        if self.min_compute_units < 1 or self.min_compute_units > self.max_compute_units:
+            raise ConfigurationError("min_compute_units out of range")
+        if (self.max_compute_units - self.min_compute_units) % self.cu_step != 0:
+            raise ConfigurationError("CU range must be a whole number of cu_step increments")
+        if list(self.memory_bus_frequencies) != sorted(self.memory_bus_frequencies):
+            raise ConfigurationError("memory bus frequencies must be ascending")
+        if list(self.compute_frequencies) != sorted(self.compute_frequencies):
+            raise ConfigurationError("compute frequencies must be ascending")
+
+    # --- derived quantities ------------------------------------------------
+
+    @property
+    def lanes_per_cu(self) -> int:
+        """Total vector lanes (ALUs) in one CU."""
+        return self.simds_per_cu * self.lanes_per_simd
+
+    @property
+    def cycles_per_valu_inst(self) -> int:
+        """SIMD-occupancy cycles of one vector ALU instruction.
+
+        A 64-wide wavefront issues over a 16-lane SIMD in 4 cycles.
+        """
+        return self.wavefront_width // self.lanes_per_simd
+
+    @property
+    def max_waves_per_cu(self) -> int:
+        """Maximum wavefronts concurrently resident in one CU."""
+        return self.max_waves_per_simd * self.simds_per_cu
+
+    def peak_flops(self, n_cu: int, f_cu: float) -> float:
+        """Peak single-precision FMAC ops/s at the given compute config.
+
+        With 32 CUs at 1 GHz this evaluates to 2048 GFLOP/s of issue or
+        4096 GFLOPS counting FMAC as two ops, matching Section 2.2.
+        """
+        return n_cu * self.lanes_per_cu * f_cu
+
+    def bus_width_bytes(self) -> float:
+        """Aggregate memory bus width in bytes."""
+        return self.memory_controllers * self.bus_width_bits_per_mc / 8.0
+
+    def peak_memory_bandwidth(self, f_mem: float) -> float:
+        """Peak DRAM bandwidth (B/s) at memory bus frequency ``f_mem``.
+
+        Implements Equation 2 of the paper::
+
+            Peak_Mem_BW = Mem_Frequency * Bus_Width * #Mem_Channels
+                          * GDDR5_Transfer_Rate
+
+        For the HD7970 at 1375 MHz this is 1375e6 * 8B * 6 * 4 = 264 GB/s.
+        """
+        if f_mem <= 0:
+            raise ConfigurationError("memory frequency must be positive")
+        per_mc_bytes = self.bus_width_bits_per_mc / 8.0
+        return f_mem * per_mc_bytes * self.memory_controllers * self.gddr5_transfer_rate
+
+    def cu_counts(self) -> tuple:
+        """All supported active-CU counts, ascending."""
+        return tuple(
+            range(self.min_compute_units, self.max_compute_units + 1, self.cu_step)
+        )
+
+
+#: A second GCN platform (HD7870 "Pitcairn" class) for portability
+#: studies: 20 CUs and four 64-bit GDDR5 controllers (154 GB/s peak).
+#: Section 4.3: "We believe principles of hardware balance and coordinated
+#: management are portable across platforms" — this smaller sibling lets
+#: the repository test that claim end to end.
+PITCAIRN = None  # assigned below (needs the class defined first)
+
+#: The paper's test bed (Sections 2.2, 3.1).
+HD7970 = GpuArchitecture(
+    name="AMD Radeon HD7970",
+    max_compute_units=32,
+    cu_step=4,
+    min_compute_units=4,
+    simds_per_cu=4,
+    lanes_per_simd=16,
+    wavefront_width=64,
+    max_waves_per_simd=10,
+    vgprs_per_simd=256,
+    sgprs_per_wave_file=102,
+    lds_per_cu=int(64 * KB),
+    max_workgroups_per_cu=16,
+    l1_per_cu=int(16 * KB),
+    l2_size=int(768 * KB),
+    l2_line_size=64,
+    memory_controllers=6,
+    bus_width_bits_per_mc=64,
+    gddr5_transfer_rate=4,
+    memory_bus_frequencies=tuple(f * MHZ for f in (475, 625, 775, 925, 1075, 1225, 1375)),
+    compute_frequencies=tuple(f * MHZ for f in (300, 400, 500, 600, 700, 800, 900, 1000)),
+    dvfs_table=HD7970_DVFS_TABLE,
+)
+
+
+PITCAIRN = GpuArchitecture(
+    name="AMD Radeon HD7870 (Pitcairn class)",
+    max_compute_units=20,
+    cu_step=4,
+    min_compute_units=4,
+    simds_per_cu=4,
+    lanes_per_simd=16,
+    wavefront_width=64,
+    max_waves_per_simd=10,
+    vgprs_per_simd=256,
+    sgprs_per_wave_file=102,
+    lds_per_cu=int(64 * KB),
+    max_workgroups_per_cu=16,
+    l1_per_cu=int(16 * KB),
+    l2_size=int(512 * KB),
+    l2_line_size=64,
+    memory_controllers=4,
+    bus_width_bits_per_mc=64,
+    gddr5_transfer_rate=4,
+    memory_bus_frequencies=tuple(
+        f * MHZ for f in (475, 620, 765, 910, 1055, 1200)
+    ),
+    compute_frequencies=tuple(
+        f * MHZ for f in (300, 400, 500, 600, 700, 800, 900, 1000)
+    ),
+    dvfs_table=HD7970_DVFS_TABLE,
+)

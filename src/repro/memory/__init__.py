@@ -1,0 +1,34 @@
+"""Off-chip GDDR5 memory subsystem model.
+
+* :mod:`repro.memory.gddr5` — device/channel timing and latency,
+* :mod:`repro.memory.controller` — controller efficiency and achievable
+  bandwidth under memory-level-parallelism limits,
+* :mod:`repro.memory.power` — the Section 2.4 power breakdown (background,
+  activate/precharge, read-write, termination, PHY/PLL) and its dependence
+  on bus frequency.
+"""
+
+from repro.memory.banks import (
+    AccessPattern,
+    BankTiming,
+    REFERENCE_PATTERNS,
+    pattern_for_efficiency,
+    scheduling_efficiency,
+)
+from repro.memory.gddr5 import Gddr5Timing, HD7970_GDDR5_TIMING
+from repro.memory.controller import BandwidthBreakdown, MemoryControllerModel
+from repro.memory.power import MemoryPowerBreakdown, MemoryPowerModel
+
+__all__ = [
+    "AccessPattern",
+    "BankTiming",
+    "REFERENCE_PATTERNS",
+    "pattern_for_efficiency",
+    "scheduling_efficiency",
+    "Gddr5Timing",
+    "HD7970_GDDR5_TIMING",
+    "BandwidthBreakdown",
+    "MemoryControllerModel",
+    "MemoryPowerBreakdown",
+    "MemoryPowerModel",
+]

@@ -1,0 +1,69 @@
+"""GDDR5 device and channel timing.
+
+The HD7970 pairs the GPU with 3 GB of GDDR5 over six 64-bit dual-channel
+memory controllers (Section 2.2). For the performance model we need two
+things from the DRAM:
+
+* the **peak bandwidth** at a bus frequency (delegated to the architecture's
+  Equation-2 implementation), and
+* the **loaded access latency** seen by a miss request, which has a
+  frequency-*independent* component (row activation, CAS, chip-internal
+  array timing are specified in nanoseconds) and a frequency-*dependent*
+  component (command/data transfer and controller queuing occur on the bus
+  clock). Lower bus frequency therefore lengthens latency somewhat, but far
+  less than proportionally — which is why latency-bound (low-occupancy)
+  kernels are relatively insensitive to the memory frequency knob
+  (Section 3.5, Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+from repro.units import MHZ, NS
+
+
+@dataclass(frozen=True)
+class Gddr5Timing:
+    """Latency parameters of a GDDR5 channel.
+
+    Attributes:
+        fixed_latency: frequency-independent access latency (s) — array
+            timing (tRCD + tCL + tRP amortized) plus on-die interconnect.
+        bus_cycles: command + data-transfer + queuing cycles spent on the
+            memory bus clock per access.
+        burst_bytes: bytes returned per access (one L2 line).
+    """
+
+    fixed_latency: float
+    bus_cycles: float
+    burst_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.fixed_latency <= 0:
+            raise CalibrationError("fixed_latency must be positive")
+        if self.bus_cycles <= 0:
+            raise CalibrationError("bus_cycles must be positive")
+        if self.burst_bytes <= 0:
+            raise CalibrationError("burst_bytes must be positive")
+
+    def access_latency(self, f_mem: float) -> float:
+        """Loaded latency (s) of one DRAM access at bus frequency ``f_mem``.
+
+        ``latency = fixed + bus_cycles / f_mem``. At 1375 MHz the default
+        timing yields ~350 ns of loaded latency, a typical figure for a
+        heavily banked GDDR5 system under load; at 475 MHz it grows to
+        ~520 ns.
+        """
+        if f_mem <= 0:
+            raise CalibrationError("memory frequency must be positive")
+        return self.fixed_latency + self.bus_cycles / f_mem
+
+
+#: Calibrated loaded-latency timing for the HD7970's GDDR5 subsystem.
+HD7970_GDDR5_TIMING = Gddr5Timing(
+    fixed_latency=270 * NS,
+    bus_cycles=110.0,
+    burst_bytes=64,
+)

@@ -1,0 +1,163 @@
+"""The hardware-platform facade.
+
+Everything above the substrate — sensitivity measurement, the Harmonia
+controller, the oracle, the benchmarks — interacts with the simulated test
+bed exclusively through :class:`HardwarePlatform`:
+
+    result = platform.run_kernel(spec, config)
+
+which is the software-visible contract a real rig offers (launch a kernel
+at a configuration; read back time, counters, and DAQ power). An optional
+run-to-run noise term models the measurement variance the paper averages
+away by running each application multiple times (Section 6).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.config import ConfigSpace, HardwareConfig
+from repro.memory.controller import MemoryControllerModel
+from repro.perf.kernelspec import KernelSpec
+from repro.perf.model import PerformanceModel
+from repro.perf.result import KernelRunResult
+from repro.platform.calibration import (PlatformCalibration, default_calibration, pitcairn_calibration)
+from repro.power.board import BoardPowerModel
+
+
+class HardwarePlatform:
+    """A simulated HD7970 card: performance + power + measurement."""
+
+    def __init__(self, calibration: Optional[PlatformCalibration] = None,
+                 noise_std_fraction: float = 0.0, seed: int = 0):
+        """
+        Args:
+            calibration: substrate constants; defaults to
+                :func:`~repro.platform.calibration.default_calibration`.
+            noise_std_fraction: run-to-run execution-time noise as a
+                fraction of the launch time (0 disables noise).
+            seed: RNG seed for reproducible noise.
+        """
+        self._cal = calibration or default_calibration()
+        arch = self._cal.arch
+        self._space = ConfigSpace(arch)
+        controller = MemoryControllerModel(arch=arch, timing=self._cal.gddr5_timing)
+        self._perf = PerformanceModel(
+            arch=arch,
+            controller=controller,
+            clock_domains=self._cal.clock_domain_model(),
+        )
+        self._board = BoardPowerModel(
+            gpu=self._cal.gpu_power_model(),
+            memory=self._cal.memory_power_model(),
+            other_power=self._cal.other_power,
+        )
+        if noise_std_fraction < 0:
+            raise ValueError("noise_std_fraction must be non-negative")
+        self._noise = noise_std_fraction
+        self._rng = np.random.default_rng(seed)
+
+    # --- accessors ------------------------------------------------------------
+
+    @property
+    def calibration(self) -> PlatformCalibration:
+        """The substrate constants in use."""
+        return self._cal
+
+    @property
+    def config_space(self) -> ConfigSpace:
+        """The ~450-point hardware configuration grid."""
+        return self._space
+
+    @property
+    def performance_model(self) -> PerformanceModel:
+        """The underlying analytical performance model."""
+        return self._perf
+
+    @property
+    def board_power_model(self) -> BoardPowerModel:
+        """The underlying board power model."""
+        return self._board
+
+    def baseline_config(self) -> HardwareConfig:
+        """The shipping PowerTune operating point.
+
+        Section 7: "Due to the consistent availability of thermal headroom,
+        the baseline power management always runs at the boost frequency of
+        1 GHz for all applications" — with all CUs and maximum memory bus.
+        """
+        return self._space.max_config()
+
+    # --- main entry ------------------------------------------------------------
+
+    def run_kernel(self, spec: KernelSpec, config: HardwareConfig) -> KernelRunResult:
+        """Launch ``spec`` at ``config`` and measure it.
+
+        Raises:
+            ConfigurationError: if ``config`` is off the platform grid.
+        """
+        self._space.validate(config)
+        output = self._perf.run(spec, config)
+
+        time = output.time
+        if self._noise > 0:
+            time *= max(0.05, 1.0 + float(self._rng.normal(0.0, self._noise)))
+
+        power = self._board.sample(
+            config=config,
+            counters=output.counters,
+            achieved_bandwidth=output.achieved_bandwidth,
+        )
+        return KernelRunResult(
+            kernel_name=spec.name,
+            config=config,
+            time=time,
+            breakdown=output.breakdown,
+            counters=output.counters,
+            power=power,
+            achieved_bandwidth=output.achieved_bandwidth,
+            occupancy=output.occupancy.occupancy,
+            bandwidth_limit=output.bandwidth_limit,
+        )
+
+
+def make_hd7970_platform(noise_std_fraction: float = 0.0,
+                         seed: int = 0,
+                         memory_voltage_scaling: bool = False) -> HardwarePlatform:
+    """Convenience constructor for the default-calibrated test bed.
+
+    Args:
+        noise_std_fraction: run-to-run execution-time noise fraction.
+        seed: RNG seed for the noise.
+        memory_voltage_scaling: enable the Section 7.2 what-if — scale the
+            memory bus voltage with its frequency (the paper's platform
+            could not; enabling it makes memory-side savings larger).
+    """
+    calibration = default_calibration()
+    if memory_voltage_scaling:
+        calibration = dataclasses.replace(
+            calibration, memory_voltage_scaling=True
+        )
+    return HardwarePlatform(
+        calibration=calibration,
+        noise_std_fraction=noise_std_fraction,
+        seed=seed,
+    )
+
+
+def make_pitcairn_platform(noise_std_fraction: float = 0.0,
+                           seed: int = 0) -> HardwarePlatform:
+    """The Pitcairn-class portability test bed (Section 4.3's claim).
+
+    A smaller GCN sibling — 20 CUs, four GDDR5 channels, 154 GB/s peak —
+    on which the full Section 4 pipeline (measure, train, bin) and the
+    Harmonia controller run unchanged.
+    """
+    return HardwarePlatform(
+        calibration=pitcairn_calibration(),
+        noise_std_fraction=noise_std_fraction,
+        seed=seed,
+    )

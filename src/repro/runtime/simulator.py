@@ -1,0 +1,90 @@
+"""The kernel-boundary execution loop.
+
+Runs an application on the platform under a power policy, exactly the way
+Harmonia's system-software implementation is driven: before each kernel
+launch the policy picks a configuration, the kernel runs there, and the
+policy observes the result ("we monitor and calculate sensitivities at
+kernel boundaries and use each kernel's historical data from previous
+iterations to predict hardware configurations for the same kernel in the
+next iteration", Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.policy import LaunchContext, PowerPolicy
+from repro.platform.hd7970 import HardwarePlatform
+from repro.runtime.metrics import RunMetrics, metrics_from_launches
+from repro.runtime.trace import LaunchRecord, RunTrace
+from repro.workloads.application import Application
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one application run under one policy."""
+
+    application: str
+    policy: str
+    trace: RunTrace
+    metrics: RunMetrics
+
+
+class ApplicationRunner:
+    """Executes applications on a platform under a policy."""
+
+    def __init__(self, platform: HardwarePlatform):
+        self._platform = platform
+
+    @property
+    def platform(self) -> HardwarePlatform:
+        """The test bed being driven."""
+        return self._platform
+
+    def run(self, application: Application, policy: PowerPolicy,
+            reset_policy: bool = True) -> RunResult:
+        """Run ``application`` end-to-end under ``policy``.
+
+        Args:
+            application: the workload to execute.
+            policy: the power-management policy to drive.
+            reset_policy: reset the policy's history first (each
+                application run starts fresh, as in the paper's per-
+                application measurements).
+        """
+        if reset_policy:
+            policy.reset()
+        trace = RunTrace()
+        for iteration, kernel, spec in application.launches():
+            context = LaunchContext(
+                kernel_name=kernel.name, iteration=iteration, spec=spec
+            )
+            config = policy.config_for(context)
+            result = self._platform.run_kernel(spec, config)
+            policy.observe(context, result)
+            trace.append(LaunchRecord(
+                iteration=iteration, kernel_name=kernel.name, result=result
+            ))
+        launches = [record.result for record in trace.records]
+        return RunResult(
+            application=application.name,
+            policy=policy.name,
+            trace=trace,
+            metrics=metrics_from_launches(launches),
+        )
+
+    def run_matrix(self, applications: Sequence[Application],
+                   policies: Sequence[PowerPolicy]) -> Dict[str, Dict[str, RunResult]]:
+        """Run every application under every policy.
+
+        Returns:
+            ``results[application_name][policy_name] -> RunResult``.
+        """
+        results: Dict[str, Dict[str, RunResult]] = {}
+        for application in applications:
+            per_app: Dict[str, RunResult] = {}
+            for policy in policies:
+                per_app[policy.name] = self.run(application, policy)
+            results[application.name] = per_app
+        return results

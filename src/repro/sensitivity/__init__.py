@@ -1,0 +1,48 @@
+"""Sensitivity measurement, training, and prediction (Section 4).
+
+* :mod:`repro.sensitivity.measurement` — measured sensitivities of
+  execution time to each hardware tunable (Section 4.1's methodology),
+* :mod:`repro.sensitivity.dataset` — training-set construction from
+  counters averaged across configurations (Section 4.2),
+* :mod:`repro.sensitivity.regression` — plain least-squares linear
+  regression with correlation reporting (Section 4.3),
+* :mod:`repro.sensitivity.predictor` — the online predictors, including
+  the paper's published Table 3 coefficients,
+* :mod:`repro.sensitivity.binning` — HIGH/MED/LOW binning at the paper's
+  30% / 70% boundaries (Section 5.2).
+"""
+
+from repro.sensitivity.binning import Bin, SensitivityBins, PAPER_BINS
+from repro.sensitivity.measurement import (
+    SensitivityMeasurement,
+    measure_sensitivities,
+    sensitivity_between,
+)
+from repro.sensitivity.dataset import SensitivityDataset, build_dataset
+from repro.sensitivity.regression import LinearModel, fit_linear_model, pearson
+from repro.sensitivity.predictor import (
+    PAPER_BANDWIDTH_PREDICTOR,
+    PAPER_COMPUTE_PREDICTOR,
+    SensitivityPredictor,
+    train_predictors,
+    TrainingReport,
+)
+
+__all__ = [
+    "Bin",
+    "SensitivityBins",
+    "PAPER_BINS",
+    "SensitivityMeasurement",
+    "measure_sensitivities",
+    "sensitivity_between",
+    "SensitivityDataset",
+    "build_dataset",
+    "LinearModel",
+    "fit_linear_model",
+    "pearson",
+    "PAPER_BANDWIDTH_PREDICTOR",
+    "PAPER_COMPUTE_PREDICTOR",
+    "SensitivityPredictor",
+    "train_predictors",
+    "TrainingReport",
+]

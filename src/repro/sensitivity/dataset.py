@@ -1,0 +1,135 @@
+"""Training-set construction (Section 4.2).
+
+The paper records 50+ counters per kernel per configuration (25 kernels x
+450 configurations = 11250 vectors), then exploits the observation that
+"for the same kernel ... across multiple hardware configurations, there are
+generally only small variations around the nominal values" by replacing
+each counter with its **average across all hardware configurations** of
+that kernel, reducing the set to ~2000 points. Each averaged vector is
+paired with the kernel's measured compute-throughput and memory-bandwidth
+sensitivities.
+
+We reproduce that pipeline: for every workload kernel (including each
+distinct phase of phased kernels — phases are behaviourally different
+kernels to the predictor), sample counters over a spread of hardware
+configurations, average them, and attach measured sensitivities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.perf.counters import PerfCounters
+from repro.perf.kernelspec import KernelSpec
+from repro.platform.hd7970 import HardwarePlatform
+from repro.sensitivity.measurement import SensitivityMeasurement, measure_sensitivities
+from repro.workloads.application import Application
+from repro.workloads.kernel import WorkloadKernel
+
+
+@dataclass(frozen=True)
+class SensitivityDataset:
+    """Per-kernel averaged features with measured sensitivity targets."""
+
+    #: one feature mapping per training kernel (config-averaged counters)
+    rows: Tuple[Mapping[str, float], ...]
+    #: measured compute-throughput sensitivity per row
+    compute_targets: Tuple[float, ...]
+    #: measured memory-bandwidth sensitivity per row
+    bandwidth_targets: Tuple[float, ...]
+    #: kernel (or kernel-phase) name per row
+    kernel_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.rows)
+        if not (len(self.compute_targets) == len(self.bandwidth_targets)
+                == len(self.kernel_names) == n):
+            raise AnalysisError("dataset columns have mismatched lengths")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _distinct_specs(applications: Sequence[Application]) -> List[KernelSpec]:
+    """Every behaviourally distinct kernel spec across the workload set.
+
+    Phased kernels contribute one spec per distinct phase — to the
+    predictor a phase is simply a kernel with different counters.
+    """
+    specs: List[KernelSpec] = []
+    seen: set = set()
+    for app in applications:
+        for kernel in app.kernels:
+            for iteration in range(app.iterations):
+                spec = kernel.spec_for_iteration(iteration)
+                key = (spec.name, spec.total_workitems, spec.valu_insts_per_item,
+                       spec.vfetch_insts_per_item, spec.branch_divergence,
+                       spec.l2_hit_rate)
+                if key not in seen:
+                    seen.add(key)
+                    phase_tag = "" if iteration == 0 else f"#phase{iteration}"
+                    specs.append(spec.evolve(name=spec.name + phase_tag))
+    return specs
+
+
+def _averaged_features(platform: HardwarePlatform, spec: KernelSpec,
+                       config_stride: int) -> Dict[str, float]:
+    """Counter features averaged over a spread of configurations."""
+    space = platform.config_space
+    sums: Dict[str, float] = {}
+    count = 0
+    for idx, config in enumerate(space):
+        if idx % config_stride:
+            continue
+        counters = platform.run_kernel(spec, config).counters
+        for name, value in counters.as_feature_dict().items():
+            sums[name] = sums.get(name, 0.0) + value
+        count += 1
+    if count == 0:
+        raise AnalysisError("config_stride too large: no configurations sampled")
+    return {name: value / count for name, value in sums.items()}
+
+
+def build_dataset(
+    platform: HardwarePlatform,
+    applications: Sequence[Application],
+    config_stride: int = 16,
+) -> SensitivityDataset:
+    """Build the Section 4.2 training set from a workload list.
+
+    Args:
+        platform: the test bed to measure on.
+        applications: the training applications (normally all 14).
+        config_stride: sample every Nth configuration when averaging
+            counters (the average is extremely stable across configs, so a
+            stride keeps training cheap without changing the result).
+
+    Returns:
+        A :class:`SensitivityDataset` with one row per distinct kernel
+        (or kernel phase).
+    """
+    if config_stride < 1:
+        raise AnalysisError("config_stride must be >= 1")
+    rows: List[Mapping[str, float]] = []
+    compute_targets: List[float] = []
+    bandwidth_targets: List[float] = []
+    names: List[str] = []
+
+    for spec in _distinct_specs(applications):
+        features = _averaged_features(platform, spec, config_stride)
+        measured = measure_sensitivities(platform, spec)
+        rows.append(features)
+        compute_targets.append(measured.compute)
+        bandwidth_targets.append(measured.bandwidth)
+        names.append(spec.name)
+
+    return SensitivityDataset(
+        rows=tuple(rows),
+        compute_targets=tuple(compute_targets),
+        bandwidth_targets=tuple(bandwidth_targets),
+        kernel_names=tuple(names),
+    )

@@ -1,0 +1,69 @@
+"""Physical unit constants and conversion helpers.
+
+The library stores quantities in SI base units internally:
+
+* frequency  -> hertz (Hz)
+* time       -> seconds (s)
+* power      -> watts (W)
+* energy     -> joules (J)
+* bandwidth  -> bytes per second (B/s)
+* capacity   -> bytes (B)
+
+The constants below make call sites read like the paper's prose
+(``925 * MHZ``, ``264 * GB_PER_S``) instead of sprinkling ``1e6``/``2**30``
+literals around, and the helpers centralise the handful of conversions the
+analysis and reporting code needs.
+"""
+
+from __future__ import annotations
+
+# --- frequency ---------------------------------------------------------
+KHZ = 1.0e3
+MHZ = 1.0e6
+GHZ = 1.0e9
+
+# --- capacity / traffic ------------------------------------------------
+KB = 1024.0
+MB = 1024.0 * KB
+GB = 1024.0 * MB
+
+# Bandwidth vendor-style (decimal) units: a "264 GB/s" GDDR5 interface is
+# 264e9 bytes per second, not 264 * 2**30.
+GB_PER_S = 1.0e9
+
+# --- time ---------------------------------------------------------------
+NS = 1.0e-9
+US = 1.0e-6
+MS = 1.0e-3
+
+# --- convenience conversions -------------------------------------------
+
+
+def hz_to_mhz(freq_hz: float) -> float:
+    """Convert a frequency in hertz to megahertz."""
+    return freq_hz / MHZ
+
+
+def mhz_to_hz(freq_mhz: float) -> float:
+    """Convert a frequency in megahertz to hertz."""
+    return freq_mhz * MHZ
+
+
+def bytes_per_s_to_gb_per_s(bandwidth: float) -> float:
+    """Convert a bandwidth in bytes/second to decimal gigabytes/second."""
+    return bandwidth / GB_PER_S
+
+
+def gb_per_s_to_bytes_per_s(bandwidth_gb: float) -> float:
+    """Convert a bandwidth in decimal gigabytes/second to bytes/second."""
+    return bandwidth_gb * GB_PER_S
+
+
+def seconds_to_ms(duration_s: float) -> float:
+    """Convert a duration in seconds to milliseconds."""
+    return duration_s / MS
+
+
+def joules_to_millijoules(energy_j: float) -> float:
+    """Convert an energy in joules to millijoules."""
+    return energy_j * 1.0e3

@@ -1,0 +1,46 @@
+"""The paper's workload set.
+
+Fourteen applications / twenty-five kernels covering the HPC and
+scientific-computing behaviours of Section 6:
+
+* SHOC: MaxFlops, DeviceMemory, Sort, SPMV, Stencil,
+* Rodinia: LUD, CFD, SRAD, Streamcluster, B+Tree (BPT),
+* Exascale proxies: CoMD, XSBench, miniFE,
+* Graph500.
+
+Each kernel is a calibrated :class:`~repro.perf.kernelspec.KernelSpec`
+(instruction mix, registers, divergence, locality) wrapped with a phase
+schedule describing how it changes across application iterations.
+"""
+
+from repro.workloads.kernel import (
+    ConstantSchedule,
+    CyclicSchedule,
+    PhaseSchedule,
+    TableSchedule,
+    WorkloadKernel,
+)
+from repro.workloads.application import Application
+from repro.workloads import serialization
+from repro.workloads.registry import (
+    all_applications,
+    all_kernels,
+    application_names,
+    get_application,
+    get_kernel,
+)
+
+__all__ = [
+    "ConstantSchedule",
+    "CyclicSchedule",
+    "PhaseSchedule",
+    "TableSchedule",
+    "WorkloadKernel",
+    "Application",
+    "serialization",
+    "all_applications",
+    "all_kernels",
+    "application_names",
+    "get_application",
+    "get_kernel",
+]

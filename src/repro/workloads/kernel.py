@@ -1,0 +1,108 @@
+"""Workload-side kernel descriptions and phase schedules.
+
+HPC applications are iterative: the same kernels are invoked many times as
+a solver converges (Section 5.1). A kernel's behaviour may change from
+iteration to iteration — Graph500's breadth-first search sweeps the
+frontier up and back down (Figure 14), XSBench's lookup tables warm up —
+and Harmonia exploits the *recurrence* by using each kernel's history to
+pick the next iteration's configuration.
+
+A :class:`WorkloadKernel` pairs a base
+:class:`~repro.perf.kernelspec.KernelSpec` with a :class:`PhaseSchedule`
+that derives the spec actually launched at a given iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Protocol, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.perf.kernelspec import KernelSpec
+
+
+class PhaseSchedule(Protocol):
+    """Maps (base spec, iteration index) -> the spec launched there."""
+
+    def spec_for_iteration(self, base: KernelSpec, iteration: int) -> KernelSpec:
+        """Return the kernel spec for ``iteration`` (0-based)."""
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantSchedule:
+    """No phase behaviour: every iteration launches the base spec."""
+
+    def spec_for_iteration(self, base: KernelSpec, iteration: int) -> KernelSpec:
+        if iteration < 0:
+            raise WorkloadError("iteration must be non-negative")
+        return base
+
+
+@dataclass(frozen=True)
+class TableSchedule:
+    """Per-iteration field overrides from an explicit table.
+
+    Attributes:
+        rows: one mapping of ``KernelSpec`` field overrides per iteration.
+        wrap: if True, iterations beyond the table cycle through it; if
+            False they clamp to the last row.
+    """
+
+    rows: Tuple[Mapping, ...]
+    wrap: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise WorkloadError("TableSchedule needs at least one row")
+
+    def spec_for_iteration(self, base: KernelSpec, iteration: int) -> KernelSpec:
+        if iteration < 0:
+            raise WorkloadError("iteration must be non-negative")
+        if self.wrap:
+            row = self.rows[iteration % len(self.rows)]
+        else:
+            row = self.rows[min(iteration, len(self.rows) - 1)]
+        return base.evolve(**dict(row))
+
+
+@dataclass(frozen=True)
+class CyclicSchedule:
+    """Multiplicative scaling of work per iteration, cycling a pattern.
+
+    Useful for frontier-style workloads: ``work_factors = (0.2, 1.0, 3.0,
+    1.5, 0.4)`` expands and contracts the launched work. The factor scales
+    ``total_workitems`` (rounded to at least one workgroup).
+    """
+
+    work_factors: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.work_factors:
+            raise WorkloadError("CyclicSchedule needs at least one factor")
+        if any(f <= 0 for f in self.work_factors):
+            raise WorkloadError("work factors must be positive")
+
+    def spec_for_iteration(self, base: KernelSpec, iteration: int) -> KernelSpec:
+        if iteration < 0:
+            raise WorkloadError("iteration must be non-negative")
+        factor = self.work_factors[iteration % len(self.work_factors)]
+        items = max(base.workgroup_size, int(base.total_workitems * factor))
+        return base.evolve(total_workitems=items)
+
+
+@dataclass(frozen=True)
+class WorkloadKernel:
+    """A named kernel inside an application, with phase behaviour."""
+
+    base: KernelSpec
+    schedule: PhaseSchedule = field(default_factory=ConstantSchedule)
+
+    @property
+    def name(self) -> str:
+        """The kernel's qualified name (e.g. ``"Sort.BottomScan"``)."""
+        return self.base.name
+
+    def spec_for_iteration(self, iteration: int) -> KernelSpec:
+        """The spec launched at application iteration ``iteration``."""
+        return self.schedule.spec_for_iteration(self.base, iteration)

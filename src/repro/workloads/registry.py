@@ -1,0 +1,81 @@
+"""Registry of the paper's 14 applications / 25 kernels (Section 6)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.application import Application
+from repro.workloads.kernel import WorkloadKernel
+from repro.workloads.suites import graph500 as _graph500
+from repro.workloads.suites import proxies as _proxies
+from repro.workloads.suites import rodinia as _rodinia
+from repro.workloads.suites import shoc as _shoc
+
+_FACTORIES: Dict[str, Callable[[], Application]] = {
+    # SHOC
+    "MaxFlops": _shoc.maxflops,
+    "DeviceMemory": _shoc.devicememory,
+    "Sort": _shoc.sort,
+    "SPMV": _shoc.spmv,
+    "Stencil": _shoc.stencil,
+    # Rodinia
+    "LUD": _rodinia.lud,
+    "CFD": _rodinia.cfd,
+    "SRAD": _rodinia.srad,
+    "Streamcluster": _rodinia.streamcluster,
+    "BPT": _rodinia.bpt,
+    # Exascale proxies
+    "CoMD": _proxies.comd,
+    "XSBench": _proxies.xsbench,
+    "miniFE": _proxies.minife,
+    # Graph500
+    "Graph500": _graph500.graph500,
+}
+
+#: The two stress benchmarks excluded from the paper's "Geomean 2".
+STRESS_BENCHMARKS: Tuple[str, ...] = ("MaxFlops", "DeviceMemory")
+
+
+def application_names() -> Tuple[str, ...]:
+    """Names of all 14 registered applications, in the paper's grouping."""
+    return tuple(_FACTORIES)
+
+
+def get_application(name: str) -> Application:
+    """Build a fresh :class:`Application` by name.
+
+    Raises:
+        WorkloadError: for an unknown application name.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(_FACTORIES)
+        raise WorkloadError(f"unknown application {name!r}; known: {known}") from None
+    return factory()
+
+
+def all_applications() -> List[Application]:
+    """Build all 14 applications."""
+    return [factory() for factory in _FACTORIES.values()]
+
+
+def all_kernels() -> List[WorkloadKernel]:
+    """All 25 workload kernels across every application."""
+    kernels: List[WorkloadKernel] = []
+    for app in all_applications():
+        kernels.extend(app.kernels)
+    return kernels
+
+
+def get_kernel(qualified_name: str) -> WorkloadKernel:
+    """Look up a kernel by its qualified name, e.g. ``"Sort.BottomScan"``.
+
+    Raises:
+        WorkloadError: for an unknown kernel name.
+    """
+    for kernel in all_kernels():
+        if kernel.name == qualified_name:
+            return kernel
+    raise WorkloadError(f"unknown kernel {qualified_name!r}")

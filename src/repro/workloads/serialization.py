@@ -1,0 +1,169 @@
+"""JSON serialization of workload definitions.
+
+Lets users define applications declaratively (and lets the library's own
+workload set be exported for inspection):
+
+.. code-block:: json
+
+    {
+      "name": "MySolver",
+      "suite": "custom",
+      "iterations": 30,
+      "kernels": [
+        {
+          "spec": {"name": "MySolver.Sweep", "total_workitems": 2097152,
+                   "workgroup_size": 256, "valu_insts_per_item": 900.0,
+                   "vfetch_insts_per_item": 27.0,
+                   "vwrite_insts_per_item": 1.0},
+          "schedule": {"type": "constant"}
+        },
+        {
+          "spec": {"...": "..."},
+          "schedule": {"type": "cyclic", "work_factors": [1.0, 0.5]}
+        }
+      ]
+    }
+
+Schedules serialize by type: ``constant``, ``cyclic`` (work factors) and
+``table`` (per-iteration field overrides, with ``wrap``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Mapping
+
+from repro.errors import WorkloadError
+from repro.perf.kernelspec import KernelSpec
+from repro.workloads.application import Application
+from repro.workloads.kernel import (
+    ConstantSchedule,
+    CyclicSchedule,
+    TableSchedule,
+    WorkloadKernel,
+)
+
+#: KernelSpec fields, in declaration order (used for round-trip checks).
+_SPEC_FIELDS = tuple(f.name for f in dataclasses.fields(KernelSpec))
+
+
+def spec_to_dict(spec: KernelSpec) -> Dict[str, Any]:
+    """Serialize a kernel spec to a plain dict."""
+    return dataclasses.asdict(spec)
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> KernelSpec:
+    """Build a kernel spec from a mapping.
+
+    Raises:
+        WorkloadError: on unknown fields or invalid values (the spec's
+            own validation errors are re-raised as-is).
+    """
+    unknown = set(data) - set(_SPEC_FIELDS)
+    if unknown:
+        raise WorkloadError(f"unknown kernel-spec fields: {sorted(unknown)}")
+    return KernelSpec(**data)
+
+
+def _schedule_to_dict(schedule) -> Dict[str, Any]:
+    if isinstance(schedule, ConstantSchedule):
+        return {"type": "constant"}
+    if isinstance(schedule, CyclicSchedule):
+        return {"type": "cyclic", "work_factors": list(schedule.work_factors)}
+    if isinstance(schedule, TableSchedule):
+        return {
+            "type": "table",
+            "rows": [dict(row) for row in schedule.rows],
+            "wrap": schedule.wrap,
+        }
+    raise WorkloadError(
+        f"schedule type {type(schedule).__name__!r} is not serializable"
+    )
+
+
+def _schedule_from_dict(data: Mapping[str, Any]):
+    kind = data.get("type")
+    if kind == "constant":
+        return ConstantSchedule()
+    if kind == "cyclic":
+        return CyclicSchedule(work_factors=tuple(data["work_factors"]))
+    if kind == "table":
+        return TableSchedule(
+            rows=tuple(dict(row) for row in data["rows"]),
+            wrap=bool(data.get("wrap", True)),
+        )
+    raise WorkloadError(f"unknown schedule type {kind!r}")
+
+
+def application_to_dict(application: Application) -> Dict[str, Any]:
+    """Serialize an application (kernels + schedules) to a plain dict."""
+    return {
+        "name": application.name,
+        "suite": application.suite,
+        "iterations": application.iterations,
+        "kernels": [
+            {
+                "spec": spec_to_dict(kernel.base),
+                "schedule": _schedule_to_dict(kernel.schedule),
+            }
+            for kernel in application.kernels
+        ],
+    }
+
+
+def application_from_dict(data: Mapping[str, Any]) -> Application:
+    """Build an application from a mapping.
+
+    Raises:
+        WorkloadError: on missing keys or invalid content.
+    """
+    try:
+        kernels = tuple(
+            WorkloadKernel(
+                base=spec_from_dict(entry["spec"]),
+                schedule=_schedule_from_dict(entry.get(
+                    "schedule", {"type": "constant"}
+                )),
+            )
+            for entry in data["kernels"]
+        )
+        return Application(
+            name=data["name"],
+            suite=data.get("suite", "custom"),
+            kernels=kernels,
+            iterations=int(data["iterations"]),
+        )
+    except KeyError as missing:
+        raise WorkloadError(f"missing workload key: {missing}") from None
+
+
+def dumps(application: Application, indent: int = 2) -> str:
+    """Serialize an application to a JSON string."""
+    return json.dumps(application_to_dict(application), indent=indent)
+
+
+def loads(text: str) -> Application:
+    """Parse an application from a JSON string.
+
+    Raises:
+        WorkloadError: on malformed JSON or invalid content.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise WorkloadError(f"malformed workload JSON: {error}") from None
+    return application_from_dict(data)
+
+
+def save(application: Application, path) -> None:
+    """Write an application definition to a JSON file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(application))
+        handle.write("\n")
+
+
+def load(path) -> Application:
+    """Read an application definition from a JSON file."""
+    with open(path) as handle:
+        return loads(handle.read())

@@ -1,0 +1,1 @@
+"""Benchmark-suite kernel definitions (SHOC, Rodinia, proxies, Graph500)."""

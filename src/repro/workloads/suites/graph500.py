@@ -1,0 +1,118 @@
+"""Graph500: breadth-first search with strong phase behaviour.
+
+Calibration anchors from the paper (Section 7.2, Figures 14-16):
+
+* the application's ops/byte demand swings from **0.64 to bursts of 264**
+  as the BFS frontier expands and contracts;
+* the main kernel **BottomStepUp** runs 8 successive iterations of 0.9 to
+  5.6 seconds with widely varying instruction counts (Figure 14); the
+  memory fetch unit is active 40-80% of the time; compute sensitivity is
+  high 95% of the time (heavy branch divergence serializes threads), so
+  Harmonia pins 32 CUs / 1 GHz and dithers the memory bus between 925 and
+  775 MHz (Figure 15), with residency spread over
+  1375/925/775/475 MHz ~ 25/23/42/8% across the whole run (Figure 16).
+
+The phase behaviour is expressed as an eight-row
+:class:`~repro.workloads.kernel.TableSchedule` on the BottomStepUp kernel:
+frontier size scales the launched work, and the compute/memory instruction
+balance shifts between sparse (memory-heavy) and dense (compute-heavy)
+levels of the search.
+"""
+
+from __future__ import annotations
+
+from repro.perf.kernelspec import KernelSpec
+from repro.workloads.application import Application
+from repro.workloads.kernel import TableSchedule, WorkloadKernel
+
+#: Eight BFS levels in three behavioural groups (Figure 14): the frontier
+#: expands and contracts (work totals swing ~19x) while the instruction
+#: *mix* shifts between sparse memory-heavy levels (groups A/C, bandwidth
+#: bin HIGH) and dense compute-heavy levels (group B, bandwidth bin MED),
+#: so Harmonia dithers the memory bus across several frequencies
+#: (Figures 15-16). Branch divergence stays high throughout, pinning the
+#: compute frequency at boost.
+_GROUP_A = {"valu_insts_per_item": 1000.0, "vfetch_insts_per_item": 10.0,
+            "bytes_per_fetch": 12.0, "branch_divergence": 0.60,
+            "l2_hit_rate": 0.40}
+_GROUP_B = {"valu_insts_per_item": 1800.0, "vfetch_insts_per_item": 12.0,
+            "bytes_per_fetch": 14.0, "branch_divergence": 0.60,
+            "l2_hit_rate": 0.45}
+_GROUP_C = {"valu_insts_per_item": 700.0, "vfetch_insts_per_item": 12.0,
+            "bytes_per_fetch": 12.0, "branch_divergence": 0.60,
+            "l2_hit_rate": 0.35}
+_BOTTOM_STEPUP_PHASES = (
+    dict(_GROUP_A, total_workitems=1 << 20),
+    dict(_GROUP_A, total_workitems=1 << 21),
+    dict(_GROUP_B, total_workitems=1 << 22),
+    dict(_GROUP_B, total_workitems=3 << 21),
+    dict(_GROUP_B, total_workitems=1 << 22),
+    dict(_GROUP_B, total_workitems=3 << 21),
+    dict(_GROUP_C, total_workitems=1 << 21),
+    dict(_GROUP_C, total_workitems=1 << 19),
+)
+
+
+def graph500() -> Application:
+    """Graph500 BFS: TopDownStep, BottomStepUp (phased), BitmapConstruct."""
+    top_down = KernelSpec(
+        name="Graph500.TopDownStep",
+        total_workitems=1 << 20,
+        workgroup_size=256,
+        valu_insts_per_item=500.0,
+        vfetch_insts_per_item=12.0,
+        vwrite_insts_per_item=3.0,
+        bytes_per_fetch=12.0,
+        bytes_per_write=8.0,
+        vgprs_per_workitem=32,
+        sgprs_per_wave=28,
+        branch_divergence=0.50,
+        l2_hit_rate=0.35,
+        outstanding_per_wave=2.5,
+        access_efficiency=0.60,
+    )
+    bottom_stepup = KernelSpec(
+        name="Graph500.BottomStepUp",
+        total_workitems=1 << 21,
+        workgroup_size=256,
+        valu_insts_per_item=1000.0,
+        vfetch_insts_per_item=12.0,
+        vwrite_insts_per_item=3.0,
+        bytes_per_fetch=12.0,
+        bytes_per_write=8.0,
+        vgprs_per_workitem=36,
+        sgprs_per_wave=30,
+        branch_divergence=0.60,
+        l2_hit_rate=0.40,
+        outstanding_per_wave=2.5,
+        access_efficiency=0.60,
+    )
+    bitmap = KernelSpec(
+        name="Graph500.BitmapConstruct",
+        total_workitems=1 << 21,
+        workgroup_size=256,
+        valu_insts_per_item=45.0,
+        vfetch_insts_per_item=3.0,
+        vwrite_insts_per_item=2.0,
+        bytes_per_fetch=8.0,
+        bytes_per_write=8.0,
+        vgprs_per_workitem=14,
+        sgprs_per_wave=16,
+        branch_divergence=0.05,
+        l2_hit_rate=0.25,
+        outstanding_per_wave=4.0,
+        access_efficiency=0.85,
+    )
+    return Application(
+        name="Graph500",
+        suite="Graph500",
+        kernels=(
+            WorkloadKernel(base=top_down),
+            WorkloadKernel(
+                base=bottom_stepup,
+                schedule=TableSchedule(rows=_BOTTOM_STEPUP_PHASES, wrap=True),
+            ),
+            WorkloadKernel(base=bitmap),
+        ),
+        iterations=8,
+    )

@@ -1,0 +1,181 @@
+"""SHOC suite workloads: MaxFlops, DeviceMemory, Sort, SPMV, Stencil.
+
+Calibration anchors from the paper:
+
+* **MaxFlops** — the compute stress benchmark. Performance scales linearly
+  with compute throughput (27x from the minimum to the maximum
+  configuration, Figure 3a) and is completely insensitive to memory
+  bandwidth; the most energy-efficient point is maximum compute at the
+  *lowest* memory bus frequency.
+* **DeviceMemory** — the memory stress benchmark. Performance saturates
+  once hardware ops/byte reaches ~4x the minimum configuration
+  (Figure 3b); poor L2 hit rate makes it sensitive to compute frequency
+  at low clocks through the L2->MC crossing (Figure 9); board power
+  varies ~70% across compute configurations (Figure 4).
+* **Sort.BottomScan** — 66 VGPRs/workitem -> 3 waves/SIMD -> 30% kernel
+  occupancy (Figure 7); 6% branch divergence over millions of dynamic
+  instructions -> strongly compute-frequency sensitive (Figure 8); low
+  memory-level parallelism lets the bus drop to 475 MHz for a 12% card
+  power saving without hurting performance (Section 7.1).
+* **SPMV** — irregular gather bandwidth-bound kernel; a coarse-grain
+  prediction outlier that needs FG correction (Section 7.2, Figure 18).
+* **Stencil** — high L2 locality; most of its footprint hits in cache, so
+  the memory bus can be slowed deeply. The paper's biggest power saving
+  (19%, Section 7.1).
+"""
+
+from __future__ import annotations
+
+from repro.perf.kernelspec import KernelSpec
+from repro.workloads.application import Application
+from repro.workloads.kernel import ConstantSchedule, WorkloadKernel
+
+
+def maxflops() -> Application:
+    """SHOC MaxFlops: peak-FLOPS stress test."""
+    kernel = KernelSpec(
+        name="MaxFlops.MaxFlops",
+        total_workitems=1 << 20,
+        workgroup_size=256,
+        valu_insts_per_item=16000.0,
+        vfetch_insts_per_item=2.0,
+        vwrite_insts_per_item=1.0,
+        bytes_per_fetch=4.0,
+        bytes_per_write=4.0,
+        vgprs_per_workitem=24,
+        sgprs_per_wave=16,
+        branch_divergence=0.0,
+        l2_hit_rate=0.90,
+        outstanding_per_wave=1.0,
+        access_efficiency=0.80,
+    )
+    return Application(
+        name="MaxFlops",
+        suite="SHOC",
+        kernels=(WorkloadKernel(base=kernel),),
+        iterations=20,
+    )
+
+
+def devicememory() -> Application:
+    """SHOC DeviceMemory: streaming global-memory stress test."""
+    kernel = KernelSpec(
+        name="DeviceMemory.DeviceMemory",
+        total_workitems=1 << 22,
+        workgroup_size=256,
+        valu_insts_per_item=600.0,
+        vfetch_insts_per_item=8.0,
+        vwrite_insts_per_item=4.0,
+        bytes_per_fetch=16.0,
+        bytes_per_write=16.0,
+        vgprs_per_workitem=20,
+        sgprs_per_wave=16,
+        branch_divergence=0.0,
+        l2_hit_rate=0.05,
+        outstanding_per_wave=4.0,
+        access_efficiency=0.85,
+    )
+    return Application(
+        name="DeviceMemory",
+        suite="SHOC",
+        kernels=(WorkloadKernel(base=kernel),),
+        iterations=20,
+    )
+
+
+def sort() -> Application:
+    """SHOC Sort: radix sort; BottomScan is the occupancy-limited kernel."""
+    bottom_scan = KernelSpec(
+        name="Sort.BottomScan",
+        total_workitems=1 << 19,
+        workgroup_size=256,
+        valu_insts_per_item=2200.0,
+        vfetch_insts_per_item=6.0,
+        vwrite_insts_per_item=3.0,
+        bytes_per_fetch=12.0,
+        bytes_per_write=12.0,
+        # 66 of 256 VGPRs -> floor(256/66) = 3 waves/SIMD = 30% occupancy
+        vgprs_per_workitem=66,
+        sgprs_per_wave=32,
+        branch_divergence=0.06,
+        l2_hit_rate=0.40,
+        outstanding_per_wave=1.6,
+        access_efficiency=0.75,
+    )
+    top_scan = KernelSpec(
+        name="Sort.TopScan",
+        total_workitems=1 << 16,
+        workgroup_size=256,
+        valu_insts_per_item=900.0,
+        vfetch_insts_per_item=4.0,
+        vwrite_insts_per_item=2.0,
+        bytes_per_fetch=8.0,
+        bytes_per_write=8.0,
+        vgprs_per_workitem=32,
+        sgprs_per_wave=24,
+        branch_divergence=0.10,
+        l2_hit_rate=0.55,
+        outstanding_per_wave=2.0,
+        access_efficiency=0.80,
+    )
+    return Application(
+        name="Sort",
+        suite="SHOC",
+        kernels=(WorkloadKernel(base=bottom_scan), WorkloadKernel(base=top_scan)),
+        iterations=40,
+    )
+
+
+def spmv() -> Application:
+    """SHOC SPMV: irregular sparse matrix-vector product."""
+    kernel = KernelSpec(
+        name="SPMV.CSRScalar",
+        total_workitems=1 << 21,
+        workgroup_size=128,
+        valu_insts_per_item=220.0,
+        vfetch_insts_per_item=12.0,
+        vwrite_insts_per_item=1.0,
+        bytes_per_fetch=12.0,
+        bytes_per_write=8.0,
+        vgprs_per_workitem=28,
+        sgprs_per_wave=24,
+        branch_divergence=0.25,
+        l2_hit_rate=0.25,
+        l2_thrash_sensitivity=0.05,
+        outstanding_per_wave=3.0,
+        # irregular gathers: poor row locality at the controller
+        access_efficiency=0.55,
+    )
+    return Application(
+        name="SPMV",
+        suite="SHOC",
+        kernels=(WorkloadKernel(base=kernel),),
+        iterations=40,
+    )
+
+
+def stencil() -> Application:
+    """SHOC Stencil2D: 9-point stencil with strong L2 reuse."""
+    kernel = KernelSpec(
+        name="Stencil.Stencil2D",
+        total_workitems=1 << 21,
+        workgroup_size=256,
+        valu_insts_per_item=1400.0,
+        vfetch_insts_per_item=9.0,
+        vwrite_insts_per_item=1.0,
+        bytes_per_fetch=4.0,
+        bytes_per_write=4.0,
+        vgprs_per_workitem=30,
+        sgprs_per_wave=24,
+        lds_bytes_per_workgroup=4352,
+        branch_divergence=0.05,
+        l2_hit_rate=0.80,
+        outstanding_per_wave=2.0,
+        access_efficiency=0.85,
+    )
+    return Application(
+        name="Stencil",
+        suite="SHOC",
+        kernels=(WorkloadKernel(base=kernel),),
+        iterations=40,
+    )

@@ -1,0 +1,57 @@
+"""Shared fixtures.
+
+Session-scoped fixtures share the expensive pieces (the trained predictors
+and the four-policy evaluation matrix) across the whole suite; tests that
+mutate policy state always construct fresh policies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.gpu.architecture import HD7970
+from repro.gpu.config import ConfigSpace
+from repro.platform.hd7970 import make_hd7970_platform
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Shared experiment context (platform + training + evaluation)."""
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def platform(context):
+    """The shared deterministic HD7970 test bed."""
+    return context.platform
+
+
+@pytest.fixture(scope="session")
+def space(platform) -> ConfigSpace:
+    """The shared configuration grid."""
+    return platform.config_space
+
+
+@pytest.fixture(scope="session")
+def arch():
+    """The HD7970 architecture description."""
+    return HD7970
+
+
+@pytest.fixture(scope="session")
+def training(context):
+    """The Section 4 training report (predictors + dataset)."""
+    return context.training
+
+
+@pytest.fixture(scope="session")
+def evaluation(context):
+    """The cached Figures 10-13 evaluation matrix."""
+    return context.evaluation
+
+
+@pytest.fixture()
+def fresh_platform():
+    """A private platform for tests that need isolation."""
+    return make_hd7970_platform()

@@ -1,0 +1,98 @@
+"""Unit tests for :mod:`repro.gpu.architecture` (paper Section 2.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.architecture import HD7970
+from repro.units import GHZ, MHZ
+
+
+class TestSection22Facts:
+    """Architectural facts stated in the paper."""
+
+    def test_32_compute_units(self):
+        assert HD7970.max_compute_units == 32
+
+    def test_four_simds_per_cu(self):
+        assert HD7970.simds_per_cu == 4
+
+    def test_16_pes_per_simd(self):
+        assert HD7970.lanes_per_simd == 16
+
+    def test_64_lanes_per_cu(self):
+        assert HD7970.lanes_per_cu == 64
+
+    def test_wavefront_width(self):
+        assert HD7970.wavefront_width == 64
+
+    def test_wave_issues_over_four_cycles(self):
+        assert HD7970.cycles_per_valu_inst == 4
+
+    def test_six_memory_controllers_64bit(self):
+        assert HD7970.memory_controllers == 6
+        assert HD7970.bus_width_bits_per_mc == 64
+
+    def test_64kb_lds(self):
+        assert HD7970.lds_per_cu == 64 * 1024
+
+    def test_16kb_l1(self):
+        assert HD7970.l1_per_cu == 16 * 1024
+
+    def test_768kb_l2(self):
+        assert HD7970.l2_size == 768 * 1024
+
+    def test_vgpr_normalization_base(self):
+        # Table 2: NormVGPR normalized by max 256.
+        assert HD7970.vgprs_per_simd == 256
+
+    def test_sgpr_normalization_base(self):
+        # Table 2: NormSGPR normalized by max 102.
+        assert HD7970.sgprs_per_wave_file == 102
+
+    def test_ten_waves_per_simd(self):
+        assert HD7970.max_waves_per_simd == 10
+        assert HD7970.max_waves_per_cu == 40
+
+
+class TestThroughput:
+    def test_peak_flops_at_boost(self):
+        # 32 CU x 64 lanes x 1 GHz = 2048 G issue slots/s; counting FMAC as
+        # two ops gives the paper's ~4096 GFLOPS.
+        issue = HD7970.peak_flops(32, 1 * GHZ)
+        assert issue == pytest.approx(2048e9)
+        assert 2 * issue == pytest.approx(4096e9)
+
+    def test_peak_bandwidth_at_max(self):
+        # Equation 2 at 1375 MHz: 264 GB/s (Section 2.2).
+        assert HD7970.peak_memory_bandwidth(1375 * MHZ) == pytest.approx(264e9)
+
+    def test_peak_bandwidth_at_min(self):
+        # Section 3.1: 90 GB/s at 475 MHz.
+        bw = HD7970.peak_memory_bandwidth(475 * MHZ)
+        assert bw == pytest.approx(91.2e9)
+
+    def test_bandwidth_step_is_about_30gb(self):
+        # Section 3.1: steps of 30 GB/s per 150 MHz.
+        step = (HD7970.peak_memory_bandwidth(625 * MHZ)
+                - HD7970.peak_memory_bandwidth(475 * MHZ))
+        assert step == pytest.approx(28.8e9)
+
+    def test_bandwidth_rejects_non_positive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            HD7970.peak_memory_bandwidth(0.0)
+
+    def test_bus_width_bytes(self):
+        assert HD7970.bus_width_bytes() == pytest.approx(48.0)
+
+
+class TestGrids:
+    def test_cu_counts_4_to_32_step_4(self):
+        assert HD7970.cu_counts() == (4, 8, 12, 16, 20, 24, 28, 32)
+
+    def test_compute_frequencies_300_to_1000_step_100(self):
+        freqs = [f / MHZ for f in HD7970.compute_frequencies]
+        assert freqs == [300, 400, 500, 600, 700, 800, 900, 1000]
+
+    def test_memory_frequencies_475_to_1375_step_150(self):
+        freqs = [f / MHZ for f in HD7970.memory_bus_frequencies]
+        assert freqs == [475, 625, 775, 925, 1075, 1225, 1375]

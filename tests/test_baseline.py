@@ -1,0 +1,66 @@
+"""Unit tests for :mod:`repro.core.baseline` (PowerTune, Section 2.3)."""
+
+import pytest
+
+from repro.core.baseline import BaselinePolicy
+from repro.core.policy import LaunchContext
+from repro.units import GHZ, MHZ
+from repro.workloads.registry import get_kernel
+
+SPEC = get_kernel("MaxFlops.MaxFlops").base
+
+
+def context_for(kernel_name="MaxFlops.MaxFlops", iteration=0):
+    return LaunchContext(kernel_name=kernel_name, iteration=iteration,
+                         spec=SPEC)
+
+
+class TestBoostBehaviour:
+    def test_always_boost_with_headroom(self, space):
+        # Section 7: "the baseline power management always runs at the
+        # boost frequency of 1 GHz for all applications".
+        policy = BaselinePolicy(space)
+        config = policy.config_for(context_for())
+        assert config == space.max_config()
+
+    def test_name(self, space):
+        assert BaselinePolicy(space).name == "baseline"
+
+    def test_stays_boost_after_observations(self, space, platform):
+        policy = BaselinePolicy(space)
+        for iteration in range(5):
+            ctx = context_for(iteration=iteration)
+            config = policy.config_for(ctx)
+            result = platform.run_kernel(SPEC, config)
+            policy.observe(ctx, result)
+        assert policy.config_for(context_for(iteration=5)) == \
+            space.max_config()
+
+
+class TestTdpFallback:
+    def test_falls_back_to_dpm2_over_tdp(self, space, platform):
+        # A tight TDP makes PowerTune leave boost for DPM2.
+        policy = BaselinePolicy(space, tdp_watts=100.0)
+        ctx = context_for()
+        result = platform.run_kernel(SPEC, policy.config_for(ctx))
+        assert result.power.card > 100.0
+        policy.observe(ctx, result)
+        fallback = policy.config_for(context_for(iteration=1))
+        assert fallback.f_cu == pytest.approx(900 * MHZ)
+        assert fallback.n_cu == 32
+
+    def test_default_tdp_never_triggers(self, space, platform):
+        policy = BaselinePolicy(space)  # 250 W default
+        ctx = context_for()
+        result = platform.run_kernel(SPEC, policy.config_for(ctx))
+        policy.observe(ctx, result)
+        assert policy.config_for(context_for(iteration=1)).f_cu == \
+            pytest.approx(1 * GHZ)
+
+    def test_reset_clears_history(self, space, platform):
+        policy = BaselinePolicy(space, tdp_watts=100.0)
+        ctx = context_for()
+        policy.observe(ctx, platform.run_kernel(SPEC, space.max_config()))
+        policy.reset()
+        assert policy.config_for(context_for(iteration=1)) == \
+            space.max_config()

@@ -1,0 +1,65 @@
+"""Unit tests for :mod:`repro.sensitivity.binning` (Section 5.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PolicyError
+from repro.sensitivity.binning import Bin, PAPER_BINS, SensitivityBins
+
+
+class TestPaperBins:
+    """<30% LOW, 30-70% MED, >70% HIGH."""
+
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, Bin.LOW),
+        (0.29, Bin.LOW),
+        (0.30, Bin.MED),
+        (0.50, Bin.MED),
+        (0.70, Bin.MED),
+        (0.71, Bin.HIGH),
+        (1.0, Bin.HIGH),
+    ])
+    def test_classification(self, value, expected):
+        assert PAPER_BINS.classify(value) is expected
+
+    def test_negative_sensitivity_is_low(self):
+        # The BPT case: performance improves as the tunable shrinks.
+        assert PAPER_BINS.classify(-0.5) is Bin.LOW
+
+    def test_superlinear_is_high(self):
+        assert PAPER_BINS.classify(1.8) is Bin.HIGH
+
+    def test_edge_values(self):
+        assert PAPER_BINS.low_edge == pytest.approx(0.30)
+        assert PAPER_BINS.high_edge == pytest.approx(0.70)
+
+
+class TestTargets:
+    def test_target_ordering(self):
+        assert (PAPER_BINS.target_fraction(Bin.LOW)
+                <= PAPER_BINS.target_fraction(Bin.MED)
+                <= PAPER_BINS.target_fraction(Bin.HIGH))
+
+    def test_high_is_full_range(self):
+        assert PAPER_BINS.target_fraction(Bin.HIGH) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_rejects_inverted_edges(self):
+        with pytest.raises(PolicyError):
+            SensitivityBins(low_edge=0.8, high_edge=0.3)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(PolicyError):
+            SensitivityBins(med_target=1.5)
+
+    @given(st.floats(min_value=-10, max_value=10))
+    def test_classification_total(self, value):
+        assert PAPER_BINS.classify(value) in (Bin.LOW, Bin.MED, Bin.HIGH)
+
+    @given(st.floats(min_value=0, max_value=0.999))
+    def test_classification_monotone(self, value):
+        order = {Bin.LOW: 0, Bin.MED: 1, Bin.HIGH: 2}
+        a = order[PAPER_BINS.classify(value)]
+        b = order[PAPER_BINS.classify(min(1.0, value + 0.001))]
+        assert b >= a

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults_to_harmonia(self):
+        args = build_parser().parse_args(["run", "CoMD"])
+        assert args.policy == "harmonia"
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "CoMD", "--policy", "magic"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "14 applications" in out
+        assert "Graph500" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "XSBench", "--policy", "cg-only"]) == 0
+        out = capsys.readouterr().out
+        assert "XSBench" in out
+        assert "ED2" in out
+        assert "residency" in out
+
+    def test_run_unknown_app(self, capsys):
+        assert main(["run", "NoSuchApp"]) == 2
+        assert "unknown application" in capsys.readouterr().err
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "SRAD.Prepare"]) == 0
+        out = capsys.readouterr().out
+        assert "min ED2" in out
+
+    def test_sweep_unknown_kernel(self, capsys):
+        assert main(["sweep", "No.Such"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_figure_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "DPM2" in capsys.readouterr().out
+
+    def test_figure_fig07(self, capsys):
+        assert main(["figure", "fig07"]) == 0
+        assert "occupancy" in capsys.readouterr().out
+
+    def test_figure_fig05(self, capsys):
+        assert main(["figure", "fig05"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+
+class TestReproduce:
+    def test_reproduce_writes_reports(self, tmp_path, capsys):
+        assert main(["reproduce", "--output", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "reports written" in out
+        written = list(tmp_path.glob("*.txt"))
+        assert len(written) >= 20
+        # The headline figure must be among them, with its geomeans.
+        fig10 = (tmp_path / "fig10_ed2.txt").read_text()
+        assert "geomean" in fig10

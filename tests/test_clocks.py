@@ -1,0 +1,48 @@
+"""Unit tests for :mod:`repro.gpu.clocks` (Section 3.5, Figure 9)."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.gpu.architecture import HD7970
+from repro.gpu.clocks import ClockDomainModel
+from repro.units import MHZ
+
+
+class TestCrossingModel:
+    def test_bandwidth_scales_with_compute_clock(self):
+        model = ClockDomainModel(crossing_bytes_per_cycle=256.0)
+        assert model.crossing_bandwidth(600 * MHZ) == \
+            pytest.approx(2 * model.crossing_bandwidth(300 * MHZ))
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(CalibrationError):
+            ClockDomainModel(crossing_bytes_per_cycle=0.0)
+
+    def test_rejects_non_positive_frequency(self):
+        model = ClockDomainModel(crossing_bytes_per_cycle=256.0)
+        with pytest.raises(CalibrationError):
+            model.crossing_bandwidth(0.0)
+
+
+class TestCalibration:
+    def test_saturates_peak_bandwidth_at_dpm2(self):
+        # At the 925 MHz calibration point the crossing delivers exactly
+        # the 264 GB/s peak DRAM bandwidth.
+        model = ClockDomainModel.calibrated_for(HD7970)
+        assert model.crossing_bandwidth(925 * MHZ) == pytest.approx(264e9)
+
+    def test_throttles_below_dpm2(self):
+        # Section 3.5: slowing the compute clock reduces effective DRAM
+        # bandwidth for miss-heavy kernels.
+        model = ClockDomainModel.calibrated_for(HD7970)
+        assert model.crossing_bandwidth(300 * MHZ) < 264e9 * 0.4
+
+    def test_headroom_above_dpm2(self):
+        model = ClockDomainModel.calibrated_for(HD7970)
+        assert model.crossing_bandwidth(1000 * MHZ) > 264e9
+
+    def test_custom_saturation_point(self):
+        model = ClockDomainModel.calibrated_for(
+            HD7970, saturating_f_cu=500 * MHZ
+        )
+        assert model.crossing_bandwidth(500 * MHZ) == pytest.approx(264e9)

@@ -1,0 +1,114 @@
+"""Unit tests for :mod:`repro.core.coarse` (the CG block, Section 5.2)."""
+
+import pytest
+
+from repro.core.coarse import CoarseGrainTuner, DEFAULT_BIN_TARGETS, TUNABLES
+from repro.gpu.architecture import HD7970
+from repro.gpu.config import ConfigSpace
+from repro.sensitivity.binning import Bin
+from repro.sensitivity.predictor import (
+    PAPER_BANDWIDTH_PREDICTOR,
+    PAPER_COMPUTE_PREDICTOR,
+)
+from repro.units import GHZ, MHZ
+
+SPACE = ConfigSpace(HD7970)
+
+
+def make_tuner(**kwargs):
+    return CoarseGrainTuner(
+        space=SPACE,
+        compute_predictor=PAPER_COMPUTE_PREDICTOR,
+        bandwidth_predictor=PAPER_BANDWIDTH_PREDICTOR,
+        **kwargs,
+    )
+
+
+def snapshot_for(tuner, compute, bandwidth):
+    """A synthetic snapshot with explicit sensitivity values."""
+    from repro.core.coarse import SensitivitySnapshot
+    return SensitivitySnapshot(
+        compute=compute,
+        bandwidth=bandwidth,
+        compute_bin=tuner.bins.classify(compute),
+        bandwidth_bin=tuner.bins.classify(bandwidth),
+    )
+
+
+class TestTargets:
+    def test_high_high_keeps_maximum(self):
+        tuner = make_tuner()
+        snap = snapshot_for(tuner, 0.9, 0.9)
+        assert tuner.target_config(snap, SPACE.max_config()) == \
+            SPACE.max_config()
+
+    def test_low_bandwidth_drops_memory_to_minimum(self):
+        # The MaxFlops story: bandwidth-insensitive -> lowest bus frequency.
+        tuner = make_tuner()
+        snap = snapshot_for(tuner, 0.9, 0.1)
+        target = tuner.target_config(snap, SPACE.max_config())
+        assert target.f_mem == pytest.approx(475 * MHZ)
+        assert target.n_cu == 32
+
+    def test_med_compute_keeps_frequency_high(self):
+        # Section 7.3 insight 2: scale CUs and bandwidth, not frequency.
+        tuner = make_tuner()
+        snap = snapshot_for(tuner, 0.5, 0.9)
+        target = tuner.target_config(snap, SPACE.max_config())
+        assert target.n_cu < 32
+        assert target.f_cu >= 900 * MHZ
+
+    def test_low_compute_drops_cus_to_minimum(self):
+        tuner = make_tuner()
+        snap = snapshot_for(tuner, 0.1, 0.9)
+        target = tuner.target_config(snap, SPACE.max_config())
+        assert target.n_cu == 4
+
+    def test_target_always_on_grid(self):
+        tuner = make_tuner()
+        for compute in (0.0, 0.2, 0.5, 0.8, 1.0):
+            for bandwidth in (0.0, 0.5, 1.0):
+                snap = snapshot_for(tuner, compute, bandwidth)
+                assert tuner.target_config(snap, SPACE.max_config()) in SPACE
+
+
+class TestRestriction:
+    def test_frequency_only_tuner_moves_only_frequency(self):
+        tuner = make_tuner(tunables=frozenset({"f_cu"}))
+        snap = snapshot_for(tuner, 0.1, 0.1)
+        target = tuner.target_config(snap, SPACE.max_config())
+        assert target.n_cu == 32
+        assert target.f_mem == pytest.approx(1375 * MHZ)
+        assert target.f_cu < 1 * GHZ
+
+    def test_unknown_tunable_rejected(self):
+        with pytest.raises(ValueError):
+            make_tuner(tunables=frozenset({"voltage"}))
+
+    def test_missing_bin_target_rejected(self):
+        with pytest.raises(ValueError):
+            make_tuner(bin_targets={"n_cu": DEFAULT_BIN_TARGETS["n_cu"]})
+
+
+class TestSnapshots:
+    def test_snapshot_clamps_and_bins(self, platform, training):
+        from repro.workloads.registry import get_kernel
+        tuner = CoarseGrainTuner(
+            space=SPACE,
+            compute_predictor=training.compute,
+            bandwidth_predictor=training.bandwidth,
+        )
+        counters = platform.run_kernel(
+            get_kernel("MaxFlops.MaxFlops").base, platform.baseline_config()
+        ).counters
+        snap = tuner.snapshot(counters)
+        assert 0.0 <= snap.compute <= 1.0
+        assert 0.0 <= snap.bandwidth <= 1.0
+        assert snap.compute_bin is Bin.HIGH
+        assert snap.bandwidth_bin is Bin.LOW
+        assert snap.bins == (Bin.HIGH, Bin.LOW)
+
+    def test_default_targets_cover_all_tunables_and_bins(self):
+        for tunable in TUNABLES:
+            for bin_ in Bin:
+                assert bin_ in DEFAULT_BIN_TARGETS[tunable]

@@ -1,0 +1,89 @@
+"""Unit tests for :mod:`repro.perf.counters` (paper Table 2)."""
+
+import pytest
+
+from repro.perf.counters import PerfCounters
+
+
+def counters(**overrides):
+    defaults = dict(
+        valu_utilization=90.0,
+        valu_busy=60.0,
+        mem_unit_busy=50.0,
+        mem_unit_stalled=10.0,
+        write_unit_stalled=5.0,
+        ic_activity=0.4,
+        norm_vgpr=0.25,
+        norm_sgpr=0.2,
+        valu_insts_millions=100.0,
+        vfetch_insts_millions=10.0,
+        vwrite_insts_millions=5.0,
+    )
+    defaults.update(overrides)
+    return PerfCounters(**defaults)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("valu_utilization", -1.0),
+        ("valu_busy", 101.0),
+        ("mem_unit_busy", -5.0),
+        ("ic_activity", 1.5),
+        ("norm_vgpr", 1.5),
+        ("norm_sgpr", -0.1),
+    ])
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            counters(**{field: value})
+
+    def test_boundaries_accepted(self):
+        counters(valu_busy=0.0, mem_unit_busy=100.0, ic_activity=1.0)
+
+
+class TestCtoMIntensity:
+    def test_equation_3(self):
+        # C-to-M = (VALUBusy * VALUUtilization / 100) / MemUnitBusy, x100.
+        c = counters(valu_busy=40.0, valu_utilization=90.0, mem_unit_busy=50.0)
+        expected = (40.0 * 90.0 / 100.0) / 50.0 * 100.0
+        assert c.compute_to_memory_intensity() == pytest.approx(expected)
+
+    def test_normalized_to_100(self):
+        c = counters(valu_busy=100.0, valu_utilization=100.0, mem_unit_busy=10.0)
+        assert c.compute_to_memory_intensity() == pytest.approx(100.0)
+
+    def test_no_memory_work_saturates(self):
+        c = counters(mem_unit_busy=0.0)
+        assert c.compute_to_memory_intensity() == pytest.approx(100.0)
+
+    def test_divergence_reduces_intensity(self):
+        coherent = counters(valu_utilization=100.0)
+        divergent = counters(valu_utilization=30.0)
+        assert divergent.compute_to_memory_intensity() < \
+            coherent.compute_to_memory_intensity()
+
+
+class TestFeatureDict:
+    def test_contains_all_table2_features(self):
+        features = counters().as_feature_dict()
+        for name in PerfCounters.feature_names():
+            assert name in features
+
+    def test_feature_names_match_dict_keys(self):
+        features = counters().as_feature_dict()
+        assert set(features) == set(PerfCounters.feature_names())
+
+    def test_percentage_scale_preserved(self):
+        features = counters().as_feature_dict()
+        assert features["VALUUtilization"] == pytest.approx(90.0)
+        assert features["MemUnitBusy"] == pytest.approx(50.0)
+
+    def test_fraction_scale_preserved(self):
+        features = counters().as_feature_dict()
+        assert features["icActivity"] == pytest.approx(0.4)
+        assert features["NormVGPR"] == pytest.approx(0.25)
+
+    def test_ctom_included(self):
+        features = counters().as_feature_dict()
+        assert features["CtoMIntensity"] == pytest.approx(
+            counters().compute_to_memory_intensity()
+        )

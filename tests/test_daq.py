@@ -1,0 +1,99 @@
+"""Unit tests for :mod:`repro.power.daq` (Section 6's measurement rig)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CalibrationError
+from repro.power.daq import DaqCard, DaqTrace
+
+
+class TestDaqTrace:
+    def test_energy_integration(self):
+        trace = DaqTrace(sample_period=0.001, samples=(100.0,) * 500)
+        assert trace.energy() == pytest.approx(100.0 * 0.5)
+
+    def test_average_power(self):
+        trace = DaqTrace(sample_period=0.001, samples=(50.0, 150.0))
+        assert trace.average_power() == pytest.approx(100.0)
+
+    def test_duration(self):
+        trace = DaqTrace(sample_period=0.001, samples=(1.0,) * 250)
+        assert trace.duration == pytest.approx(0.25)
+
+    def test_empty_trace(self):
+        trace = DaqTrace(sample_period=0.001, samples=())
+        assert trace.energy() == 0.0
+        assert trace.average_power() == 0.0
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(CalibrationError):
+            DaqTrace(sample_period=0.0, samples=())
+
+
+class TestSampling:
+    def test_paper_sampling_rate(self):
+        card = DaqCard()  # the paper's NI rig samples at 1 kHz
+        assert card.sample_period == pytest.approx(0.001)
+
+    def test_constant_segment(self):
+        card = DaqCard(sampling_frequency=1000.0)
+        trace = card.sample_segments([(0.1, 150.0)])
+        assert len(trace.samples) == 100
+        assert trace.average_power() == pytest.approx(150.0)
+
+    def test_two_segments(self):
+        card = DaqCard(sampling_frequency=1000.0)
+        trace = card.sample_segments([(0.1, 100.0), (0.1, 200.0)])
+        assert trace.average_power() == pytest.approx(150.0, rel=0.02)
+
+    def test_sampled_energy_matches_analytic(self):
+        card = DaqCard(sampling_frequency=1000.0)
+        segments = [(0.25, 120.0), (0.5, 180.0), (0.125, 90.0)]
+        analytic = sum(t * p for t, p in segments)
+        trace = card.sample_segments(segments)
+        assert trace.energy() == pytest.approx(analytic, rel=0.01)
+
+    def test_microsecond_kernels_undersampled(self):
+        # A real 1 kHz rig misses microsecond kernels entirely.
+        card = DaqCard(sampling_frequency=1000.0)
+        trace = card.sample_segments([(20e-6, 100.0)])
+        assert len(trace.samples) == 0
+
+    def test_rejects_negative_duration(self):
+        card = DaqCard()
+        with pytest.raises(CalibrationError):
+            card.sample_segments([(-0.1, 100.0)])
+
+    def test_noise_is_reproducible(self):
+        a = DaqCard(noise_std=1.0, seed=7).sample_segments([(0.1, 100.0)])
+        b = DaqCard(noise_std=1.0, seed=7).sample_segments([(0.1, 100.0)])
+        assert a.samples == b.samples
+
+    def test_noise_changes_with_seed(self):
+        a = DaqCard(noise_std=1.0, seed=7).sample_segments([(0.1, 100.0)])
+        b = DaqCard(noise_std=1.0, seed=8).sample_segments([(0.1, 100.0)])
+        assert a.samples != b.samples
+
+    def test_noise_never_negative_power(self):
+        card = DaqCard(noise_std=50.0, seed=3)
+        trace = card.sample_segments([(0.1, 10.0)])
+        assert all(s >= 0.0 for s in trace.samples)
+
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0.01, max_value=0.2),
+                  st.floats(min_value=10.0, max_value=300.0)),
+        min_size=1, max_size=5,
+    ))
+    def test_noiseless_energy_converges(self, segments):
+        card = DaqCard(sampling_frequency=10000.0)
+        analytic = sum(t * p for t, p in segments)
+        trace = card.sample_segments(segments)
+        assert trace.energy() == pytest.approx(analytic, rel=0.05)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(CalibrationError):
+            DaqCard(sampling_frequency=0.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(CalibrationError):
+            DaqCard(noise_std=-1.0)

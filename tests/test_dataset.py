@@ -1,0 +1,69 @@
+"""Unit tests for :mod:`repro.sensitivity.dataset` (Section 4.2)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sensitivity.dataset import SensitivityDataset, build_dataset
+from repro.workloads.registry import get_application
+
+
+class TestBuildDataset:
+    @pytest.fixture(scope="class")
+    def small_dataset(self, platform):
+        apps = [get_application("Sort"), get_application("Graph500")]
+        return build_dataset(platform, apps, config_stride=64)
+
+    def test_one_row_per_distinct_kernel_or_phase(self, small_dataset):
+        # Sort: 2 kernels; Graph500: TopDown + Bitmap + BottomStepUp's
+        # distinct phase rows.
+        assert len(small_dataset) >= 2 + 2 + 3
+
+    def test_phase_rows_are_tagged(self, small_dataset):
+        phase_rows = [n for n in small_dataset.kernel_names if "#phase" in n]
+        assert phase_rows  # Graph500's BottomStepUp contributes phases
+
+    def test_targets_aligned(self, small_dataset):
+        assert len(small_dataset.rows) == len(small_dataset.compute_targets)
+        assert len(small_dataset.rows) == len(small_dataset.bandwidth_targets)
+
+    def test_features_complete(self, small_dataset):
+        from repro.perf.counters import PerfCounters
+        for row in small_dataset.rows:
+            for name in PerfCounters.feature_names():
+                assert name in row
+
+    def test_averaged_features_in_range(self, small_dataset):
+        for row in small_dataset.rows:
+            assert 0 <= row["VALUBusy"] <= 100
+            assert 0 <= row["icActivity"] <= 1
+
+    def test_stride_insensitivity(self, platform):
+        # Section 4.2's premise: per-kernel counter averages are stable, so
+        # the sampling stride barely matters.
+        apps = [get_application("Sort")]
+        coarse = build_dataset(platform, apps, config_stride=112)
+        fine = build_dataset(platform, apps, config_stride=16)
+        for c_row, f_row in zip(coarse.rows, fine.rows):
+            assert c_row["NormVGPR"] == pytest.approx(f_row["NormVGPR"])
+            assert c_row["VALUUtilization"] == pytest.approx(
+                f_row["VALUUtilization"]
+            )
+
+    def test_bad_stride_rejected(self, platform):
+        with pytest.raises(AnalysisError):
+            build_dataset(platform, [get_application("Sort")],
+                          config_stride=0)
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(AnalysisError):
+            SensitivityDataset(
+                rows=({"a": 1.0},),
+                compute_targets=(0.5, 0.6),
+                bandwidth_targets=(0.5,),
+                kernel_names=("k",),
+            )
+
+    def test_full_dataset_size(self, training):
+        # All 25 kernels plus Graph500's extra phase rows.
+        assert len(training.dataset) >= 25
+        assert len(training.dataset) <= 40

@@ -1,0 +1,88 @@
+"""Unit tests for :mod:`repro.gpu.dvfs` (paper Table 1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.dvfs import DvfsState, GpuDvfsTable, HD7970_DVFS_TABLE
+from repro.units import GHZ, MHZ
+
+
+class TestPaperTable1:
+    """The published DPM states must be reproduced exactly."""
+
+    @pytest.mark.parametrize("name,freq_mhz,volts", [
+        ("DPM0", 300, 0.85),
+        ("DPM1", 500, 0.95),
+        ("DPM2", 925, 1.17),
+    ])
+    def test_dpm_states(self, name, freq_mhz, volts):
+        state = HD7970_DVFS_TABLE.state_named(name)
+        assert state.frequency == pytest.approx(freq_mhz * MHZ)
+        assert state.voltage == pytest.approx(volts)
+
+    def test_boost_state(self):
+        boost = HD7970_DVFS_TABLE.state_named("BOOST")
+        assert boost.frequency == pytest.approx(1 * GHZ)
+        assert boost.voltage == pytest.approx(1.19)
+
+    def test_range(self):
+        assert HD7970_DVFS_TABLE.min_frequency == pytest.approx(300 * MHZ)
+        assert HD7970_DVFS_TABLE.max_frequency == pytest.approx(1 * GHZ)
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(ConfigurationError):
+            HD7970_DVFS_TABLE.state_named("DPM9")
+
+
+class TestVoltageInterpolation:
+    def test_exact_points(self):
+        for state in HD7970_DVFS_TABLE.states:
+            assert HD7970_DVFS_TABLE.voltage_at(state.frequency) == \
+                pytest.approx(state.voltage)
+
+    def test_midpoint_between_dpm0_and_dpm1(self):
+        v = HD7970_DVFS_TABLE.voltage_at(400 * MHZ)
+        assert v == pytest.approx(0.90)
+
+    def test_monotonically_non_decreasing(self):
+        freqs = [f * MHZ for f in range(300, 1001, 25)]
+        volts = [HD7970_DVFS_TABLE.voltage_at(f) for f in freqs]
+        assert all(b >= a for a, b in zip(volts, volts[1:]))
+
+    def test_clamped_below(self):
+        assert HD7970_DVFS_TABLE.voltage_at(100 * MHZ) == pytest.approx(0.85)
+
+    def test_clamped_above(self):
+        assert HD7970_DVFS_TABLE.voltage_at(2 * GHZ) == pytest.approx(1.19)
+
+    def test_non_positive_frequency_raises(self):
+        with pytest.raises(ConfigurationError):
+            HD7970_DVFS_TABLE.voltage_at(0.0)
+
+
+class TestTableValidation:
+    def test_states_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            GpuDvfsTable(states=(
+                DvfsState("A", 500 * MHZ, 0.9),
+                DvfsState("B", 300 * MHZ, 0.8),
+            ))
+
+    def test_states_must_be_distinct(self):
+        with pytest.raises(ConfigurationError):
+            GpuDvfsTable(states=(
+                DvfsState("A", 500 * MHZ, 0.9),
+                DvfsState("B", 500 * MHZ, 0.95),
+            ))
+
+    def test_needs_two_states(self):
+        with pytest.raises(ConfigurationError):
+            GpuDvfsTable(states=(DvfsState("A", 500 * MHZ, 0.9),))
+
+    def test_state_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            DvfsState("X", 0.0, 1.0)
+
+    def test_state_rejects_bad_voltage(self):
+        with pytest.raises(ConfigurationError):
+            DvfsState("X", 1 * GHZ, -0.1)

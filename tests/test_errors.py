@@ -1,0 +1,41 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.ConfigurationError,
+        errors.KernelSpecError,
+        errors.CalibrationError,
+        errors.PolicyError,
+        errors.WorkloadError,
+        errors.AnalysisError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_single_catch_clause_covers_library(self):
+        try:
+            raise errors.KernelSpecError("bad kernel")
+        except errors.ReproError as caught:
+            assert "bad kernel" in str(caught)
+
+    def test_distinct_types_distinguishable(self):
+        with pytest.raises(errors.ConfigurationError):
+            try:
+                raise errors.ConfigurationError("x")
+            except errors.AnalysisError:  # pragma: no cover
+                pytest.fail("wrong branch")
+
+    def test_library_raises_repro_errors_for_bad_config(self, platform):
+        from repro.gpu.config import HardwareConfig
+        from repro.workloads.registry import get_kernel
+        with pytest.raises(errors.ReproError):
+            platform.run_kernel(
+                get_kernel("MaxFlops.MaxFlops").base,
+                HardwareConfig(7, 1e9, 1375e6),
+            )

@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.perf.eventsim`."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.memory.controller import MemoryControllerModel
+from repro.perf.eventsim import EventDrivenModel
+from repro.platform.calibration import default_calibration
+from repro.units import GHZ, MHZ
+from repro.workloads.registry import get_kernel
+
+
+@pytest.fixture(scope="module")
+def event_model():
+    calibration = default_calibration()
+    controller = MemoryControllerModel(
+        arch=calibration.arch, timing=calibration.gddr5_timing
+    )
+    return EventDrivenModel(
+        calibration.arch, controller, calibration.clock_domain_model()
+    )
+
+
+@pytest.fixture(scope="module")
+def base_config(platform):
+    return platform.baseline_config()
+
+
+class TestBasicBehaviour:
+    def test_produces_positive_time(self, event_model, base_config):
+        result = event_model.run(get_kernel("MaxFlops.MaxFlops").base,
+                                 base_config)
+        assert result.time > 0
+        assert result.total_waves > 0
+        assert 0 < result.simulated_waves <= result.total_waves
+
+    def test_compute_bound_scales_with_frequency(self, event_model,
+                                                 base_config):
+        spec = get_kernel("MaxFlops.MaxFlops").base
+        fast = event_model.run(spec, base_config)
+        slow = event_model.run(spec, base_config.replace(f_cu=500 * MHZ))
+        assert slow.time / fast.time == pytest.approx(2.0, rel=0.05)
+
+    def test_compute_bound_scales_with_cus(self, event_model, base_config):
+        spec = get_kernel("MaxFlops.MaxFlops").base
+        full = event_model.run(spec, base_config)
+        half = event_model.run(spec, base_config.replace(n_cu=16))
+        assert half.time / full.time == pytest.approx(2.0, rel=0.1)
+
+    def test_memory_bound_scales_with_bus(self, event_model, base_config):
+        spec = get_kernel("DeviceMemory.DeviceMemory").base
+        fast = event_model.run(spec, base_config)
+        slow = event_model.run(spec, base_config.replace(f_mem=475 * MHZ))
+        assert slow.time / fast.time == pytest.approx(1375 / 475, rel=0.2)
+
+    def test_memory_bound_insensitive_to_extra_compute(self, event_model,
+                                                       base_config):
+        spec = get_kernel("DeviceMemory.DeviceMemory").base
+        some = event_model.run(spec, base_config.replace(n_cu=16))
+        more = event_model.run(spec, base_config)
+        assert more.time == pytest.approx(some.time, rel=0.1)
+
+    def test_simd_busy_fraction_bounded(self, event_model, base_config):
+        for kernel in ("MaxFlops.MaxFlops", "DeviceMemory.DeviceMemory"):
+            result = event_model.run(get_kernel(kernel).base, base_config)
+            assert 0 <= result.simd_busy_fraction <= 1
+
+    def test_compute_bound_keeps_simds_busy(self, event_model, base_config):
+        result = event_model.run(get_kernel("MaxFlops.MaxFlops").base,
+                                 base_config)
+        assert result.simd_busy_fraction > 0.9
+
+
+class TestEmergentEffects:
+    def test_occupancy_limits_latency_hiding(self, event_model, base_config):
+        # The MLP limit is not an input here — low occupancy must
+        # *emerge* as memory-frequency insensitivity (Figure 7).
+        spec = get_kernel("Sort.BottomScan").base
+        fast = event_model.run(spec, base_config)
+        slow = event_model.run(spec, base_config.replace(f_mem=475 * MHZ))
+        assert slow.time / fast.time < 1.3
+
+    def test_clock_crossing_emerges(self, event_model, base_config):
+        spec = get_kernel("DeviceMemory.DeviceMemory").base
+        normal = event_model.run(spec, base_config)
+        throttled = event_model.run(spec,
+                                    base_config.replace(f_cu=300 * MHZ))
+        assert throttled.time > 1.8 * normal.time
+
+    def test_wave_cap_scaling_is_consistent(self, base_config):
+        # Doubling the wave cap must barely change the (scaled) time —
+        # the steady-state assumption behind the cap.
+        calibration = default_calibration()
+        controller = MemoryControllerModel(
+            arch=calibration.arch, timing=calibration.gddr5_timing
+        )
+        small = EventDrivenModel(calibration.arch, controller,
+                                 calibration.clock_domain_model(),
+                                 max_simulated_waves=128)
+        large = EventDrivenModel(calibration.arch, controller,
+                                 calibration.clock_domain_model(),
+                                 max_simulated_waves=512)
+        spec = get_kernel("DeviceMemory.DeviceMemory").base
+        a = small.run(spec, base_config).time
+        b = large.run(spec, base_config).time
+        assert a == pytest.approx(b, rel=0.1)
+
+    def test_rejects_tiny_wave_cap(self):
+        calibration = default_calibration()
+        controller = MemoryControllerModel(
+            arch=calibration.arch, timing=calibration.gddr5_timing
+        )
+        with pytest.raises(AnalysisError):
+            EventDrivenModel(calibration.arch, controller,
+                             calibration.clock_domain_model(),
+                             max_simulated_waves=4)

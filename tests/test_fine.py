@@ -1,0 +1,265 @@
+"""Unit tests for :mod:`repro.core.fine` (the FG block, Section 5.2).
+
+These drive the tuner with synthetic feedback so every branch of the
+control law is exercised deterministically.
+"""
+
+import pytest
+
+from repro.core.fine import CG_VALIDATION, FineGrainState, FineGrainTuner
+from repro.gpu.architecture import HD7970
+from repro.gpu.config import ConfigSpace, HardwareConfig
+from repro.sensitivity.binning import Bin
+from repro.units import GHZ, MHZ
+
+SPACE = ConfigSpace(HD7970)
+TOP = SPACE.max_config()
+ALL_MED = {"n_cu": Bin.MED, "f_cu": Bin.MED, "f_mem": Bin.MED}
+
+
+def make_tuner(**kwargs):
+    defaults = dict(space=SPACE, max_dithering=8, tolerance=0.01)
+    defaults.update(kwargs)
+    return FineGrainTuner(**defaults)
+
+
+class TestDescent:
+    def test_first_move_is_memory_down(self):
+        # Probe order prefers the memory bus, then CUs, then frequency.
+        tuner = make_tuner()
+        state = FineGrainState()
+        proposal = tuner.propose(state, TOP, 100.0, ALL_MED)
+        assert proposal.f_mem == pytest.approx(1225 * MHZ)
+        assert proposal.n_cu == 32
+
+    def test_bin_priority_orders_probes(self):
+        tuner = make_tuner()
+        state = FineGrainState()
+        bins = {"n_cu": Bin.LOW, "f_cu": Bin.HIGH, "f_mem": Bin.HIGH}
+        proposal = tuner.propose(state, TOP, 100.0, bins)
+        assert proposal.n_cu == 28  # the LOW-bin tunable moves first
+
+    def test_flat_feedback_keeps_descending(self):
+        tuner = make_tuner()
+        state = FineGrainState()
+        config = TOP
+        for _ in range(6):
+            config = tuner.propose(state, config, 100.0, ALL_MED)
+        assert config.f_mem == pytest.approx(475 * MHZ)
+
+    def test_degradation_reverts_and_tries_up(self):
+        tuner = make_tuner()
+        state = FineGrainState()
+        first = tuner.propose(state, TOP, 100.0, ALL_MED)
+        assert first.f_mem == pytest.approx(1225 * MHZ)
+        # The step hurt: revert to the pre-step config.
+        reverted = tuner.propose(state, first, 80.0, ALL_MED)
+        assert reverted == TOP
+        assert state.dithering == 1
+
+    def test_ratchet_guard_anchors_on_best(self):
+        # Sub-tolerance losses must not accumulate across a long descent:
+        # each grid step below TOP costs 0.6% (under the 1% tolerance),
+        # but the tuner must stop within ~1% of the best feedback seen.
+        tuner = make_tuner(tolerance=0.01)
+        state = FineGrainState()
+
+        def environment(config):
+            steps = ((1375 * MHZ - config.f_mem) / (150 * MHZ)
+                     + (32 - config.n_cu) / 4
+                     + (1 * GHZ - config.f_cu) / (100 * MHZ))
+            return 100.0 * (0.994 ** steps)
+
+        config = TOP
+        for _ in range(20):
+            config = tuner.propose(state, config, environment(config), ALL_MED)
+        assert environment(config) > 98.5
+
+
+class TestClimb:
+    def test_upward_retry_after_down_fails(self):
+        tuner = make_tuner()
+        state = FineGrainState()
+        start = TOP.replace(f_mem=925 * MHZ)
+        down = tuner.propose(state, start, 100.0, ALL_MED)
+        assert down.f_mem == pytest.approx(775 * MHZ)
+        reverted = tuner.propose(state, down, 50.0, ALL_MED)
+        assert reverted == start
+        up = tuner.propose(state, reverted, 100.0, ALL_MED)
+        assert up.f_mem == pytest.approx(1075 * MHZ)
+
+    def test_climb_continues_while_improving(self):
+        tuner = make_tuner()
+        state = FineGrainState()
+        start = TOP.replace(f_mem=925 * MHZ)
+        config = tuner.propose(state, start, 100.0, ALL_MED)     # down
+        config = tuner.propose(state, config, 50.0, ALL_MED)     # revert
+        config = tuner.propose(state, config, 100.0, ALL_MED)    # up probe
+        feedback = 100.0
+        while config.f_mem < 1375 * MHZ:
+            feedback *= 1.1
+            nxt = tuner.propose(state, config, feedback, ALL_MED)
+            if nxt.f_mem <= config.f_mem:
+                break
+            config = nxt
+        assert config.f_mem == pytest.approx(1375 * MHZ)
+
+    def test_unprofitable_up_move_reverts_and_freezes(self):
+        tuner = make_tuner()
+        state = FineGrainState()
+        start = TOP.replace(f_mem=925 * MHZ)
+        config = tuner.propose(state, start, 100.0, ALL_MED)   # down probe
+        config = tuner.propose(state, config, 50.0, ALL_MED)   # revert
+        config = tuner.propose(state, config, 100.0, ALL_MED)  # up probe
+        # The up move bought nothing: revert it and freeze the tunable.
+        reverted = tuner.propose(state, config, 100.0, ALL_MED)
+        assert reverted.f_mem == pytest.approx(925 * MHZ)
+        assert "f_mem" in state.frozen
+
+    def test_successful_climb_unfreezes_other_tunables(self):
+        # The max(compute, memory) ridge: climbing one tunable reopens
+        # previously frozen ones.
+        tuner = make_tuner()
+        state = FineGrainState()
+        state.frozen = {"n_cu", "f_cu"}
+        start = TOP.replace(f_mem=925 * MHZ)
+        config = tuner.propose(state, start, 100.0, ALL_MED)   # f_mem down
+        config = tuner.propose(state, config, 50.0, ALL_MED)   # revert
+        config = tuner.propose(state, config, 100.0, ALL_MED)  # f_mem up
+        tuner.propose(state, config, 120.0, ALL_MED)           # improved!
+        assert "n_cu" not in state.frozen
+        assert "f_cu" not in state.frozen
+
+
+class TestConvergence:
+    def test_dithering_bound_converges_to_best(self):
+        tuner = make_tuner(max_dithering=2)
+        state = FineGrainState()
+        config = TOP
+        feedback = 100.0
+        # Alternate: every move degrades -> revert, dither++, until bound.
+        for _ in range(12):
+            proposal = tuner.propose(state, config, feedback, ALL_MED)
+            if state.converged:
+                break
+            if proposal != config:
+                config, feedback = proposal, 50.0
+            else:
+                feedback = 100.0
+        assert state.converged
+        # Converged: all further proposals are the best state.
+        held = tuner.propose(state, config, 1.0, ALL_MED)
+        assert held == state.best[1]
+
+    def test_everything_frozen_settles(self):
+        tuner = make_tuner()
+        state = FineGrainState()
+        state.frozen = {"n_cu", "f_cu", "f_mem"}
+        assert tuner.propose(state, TOP, 100.0, ALL_MED) == TOP
+
+    def test_minimum_config_settles_after_starvation_probes(self):
+        # At the grid minimum each tunable gets one upward starvation
+        # probe; with flat feedback every probe reverts, the tunables
+        # freeze, and the tuner settles back at the minimum.
+        tuner = make_tuner()
+        state = FineGrainState()
+        config = SPACE.min_config()
+        for _ in range(10):
+            config = tuner.propose(state, config, 100.0, ALL_MED)
+        assert config == SPACE.min_config()
+        settled = tuner.propose(state, config, 100.0, ALL_MED)
+        assert settled == SPACE.min_config()
+
+    def test_starvation_probe_recovers_from_minimum(self):
+        # A tunable pinned at minimum that the kernel actually needs must
+        # climb back up (feedback improves with the up-probe).
+        tuner = make_tuner()
+        state = FineGrainState()
+        config = TOP.replace(f_mem=475 * MHZ)
+
+        def env(c):
+            return 100.0 * min(1.0, c.f_mem / (925 * MHZ))
+
+        for _ in range(20):
+            config = tuner.propose(state, config, env(config), ALL_MED)
+        assert config.f_mem >= 925 * MHZ
+
+    def test_restart_clears_state(self):
+        state = FineGrainState()
+        state.frozen = {"n_cu"}
+        state.dithering = 5
+        state.converged = True
+        state.restart()
+        assert not state.frozen
+        assert state.dithering == 0
+        assert not state.converged
+        assert state.best is None
+
+
+class TestBestTracking:
+    def test_best_prefers_cheaper_config_within_tolerance(self):
+        tuner = make_tuner(tolerance=0.01)
+        state = FineGrainState()
+        expensive = TOP
+        cheap = TOP.replace(n_cu=16, f_mem=475 * MHZ)
+        tuner.propose(state, expensive, 100.0, ALL_MED)
+        state.inflight = None  # judge only the best-tracking
+        tuner.propose(state, cheap, 99.5, ALL_MED)
+        assert state.best[1] == cheap
+
+    def test_best_tracks_true_improvement(self):
+        tuner = make_tuner()
+        state = FineGrainState()
+        tuner.propose(state, TOP, 100.0, ALL_MED)
+        state.inflight = None
+        better = TOP.replace(n_cu=16)
+        tuner.propose(state, better, 150.0, ALL_MED)
+        assert state.best[1] == better
+        assert state.best[0] == pytest.approx(150.0)
+
+
+class TestCgValidation:
+    def test_bad_cg_jump_is_reverted(self):
+        tuner = make_tuner()
+        state = FineGrainState()
+        jumped = TOP.replace(n_cu=24, f_cu=900 * MHZ)
+        state.restart()
+        state.prime_cg_validation(before_config=TOP, before_feedback=100.0)
+        # Post-jump feedback collapsed: revert to the pre-jump config.
+        result = tuner.propose(state, jumped, 68.0, ALL_MED)
+        assert result == TOP
+        assert state.dithering == 1
+
+    def test_good_cg_jump_is_kept(self):
+        tuner = make_tuner()
+        state = FineGrainState()
+        jumped = TOP.replace(f_mem=475 * MHZ)
+        state.prime_cg_validation(before_config=TOP, before_feedback=100.0)
+        result = tuner.propose(state, jumped, 100.0, ALL_MED)
+        # Validation passed: the jump is held (not reverted); normal FG
+        # moves begin on the next engagement.
+        assert result == jumped
+        assert state.inflight is None
+
+    def test_validation_constant_name(self):
+        assert CG_VALIDATION == "__cg__"
+
+
+class TestValidationErrors:
+    def test_rejects_bad_dithering(self):
+        from repro.errors import PolicyError
+        with pytest.raises(PolicyError):
+            make_tuner(max_dithering=0)
+
+    def test_rejects_negative_tolerance(self):
+        from repro.errors import PolicyError
+        with pytest.raises(PolicyError):
+            make_tuner(tolerance=-0.1)
+
+    def test_rejects_off_grid_config(self):
+        from repro.errors import ConfigurationError
+        tuner = make_tuner()
+        with pytest.raises(ConfigurationError):
+            tuner.propose(FineGrainState(),
+                          HardwareConfig(5, 1 * GHZ, 1375 * MHZ),
+                          100.0, ALL_MED)

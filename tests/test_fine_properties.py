@@ -1,0 +1,124 @@
+"""Property-based tests for the FG tuner on synthetic environments.
+
+The tuner is driven against randomly generated but *structured* feedback
+surfaces (monotone per-tunable responses with a bottleneck structure, like
+the real max(compute, memory) surface) and must uphold its invariants:
+configurations stay on the grid, the search terminates, the settled point
+never loses more than the tolerance band vs the surface's best reachable
+feedback, and a converged state holds steady.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fine import FineGrainState, FineGrainTuner
+from repro.gpu.architecture import HD7970
+from repro.gpu.config import ConfigSpace, HardwareConfig
+from repro.sensitivity.binning import Bin
+from repro.units import GHZ, MHZ
+
+SPACE = ConfigSpace(HD7970)
+TOP = SPACE.max_config()
+ALL_MED = {"n_cu": Bin.MED, "f_cu": Bin.MED, "f_mem": Bin.MED}
+
+
+def bottleneck_environment(cu_need, f_cu_need, f_mem_need):
+    """Feedback = min of per-tunable supply/need ratios (capped at 1).
+
+    Below its need a tunable throttles feedback proportionally; above it,
+    extra supply is free — the canonical bottleneck surface.
+    """
+    def feedback(config: HardwareConfig) -> float:
+        terms = [
+            min(1.0, config.n_cu / cu_need),
+            min(1.0, config.f_cu / f_cu_need),
+            min(1.0, config.f_mem / f_mem_need),
+        ]
+        return 100.0 * min(terms)
+
+    return feedback
+
+
+@st.composite
+def environments(draw):
+    cu_need = draw(st.sampled_from([4, 8, 16, 24, 32]))
+    f_cu_need = draw(st.sampled_from([300, 500, 700, 1000])) * MHZ
+    f_mem_need = draw(st.sampled_from([475, 775, 1075, 1375])) * MHZ
+    return bottleneck_environment(cu_need, f_cu_need, f_mem_need)
+
+
+class TestBottleneckSurfaces:
+    @settings(deadline=None, max_examples=40)
+    @given(env=environments())
+    def test_stays_on_grid_and_terminates(self, env):
+        tuner = FineGrainTuner(SPACE, tolerance=0.01)
+        state = FineGrainState()
+        config = TOP
+        for _ in range(60):
+            config = tuner.propose(state, config, env(config), ALL_MED)
+            assert config in SPACE
+
+    @settings(deadline=None, max_examples=40)
+    @given(env=environments())
+    def test_never_settles_below_tolerance_of_peak(self, env):
+        tuner = FineGrainTuner(SPACE, tolerance=0.01)
+        state = FineGrainState()
+        config = TOP
+        for _ in range(60):
+            config = tuner.propose(state, config, env(config), ALL_MED)
+        # Starting from TOP, peak feedback is env(TOP) = 100; the settled
+        # point must hold it within a small multiple of the tolerance
+        # (reverts restore the pre-step config exactly, so only the final
+        # resting point matters).
+        assert env(config) >= 100.0 * (1 - 0.015)
+
+    @settings(deadline=None, max_examples=40)
+    @given(env=environments(), seed=st.integers(min_value=0, max_value=9))
+    def test_settles_to_a_fixed_point(self, env, seed):
+        tuner = FineGrainTuner(SPACE, tolerance=0.01)
+        state = FineGrainState()
+        config = TOP
+        for _ in range(80):
+            config = tuner.propose(state, config, env(config), ALL_MED)
+        # After the budget, proposals must stop moving (fixed point or
+        # converged-best hold).
+        settled = tuner.propose(state, config, env(config), ALL_MED)
+        again = tuner.propose(state, settled, env(settled), ALL_MED)
+        assert settled == again
+
+    @settings(deadline=None, max_examples=25)
+    @given(env=environments())
+    def test_trims_genuinely_free_capacity(self, env):
+        # Whatever the bottleneck, at least one tunable usually has slack;
+        # the tuner must end strictly below TOP unless everything is
+        # needed at maximum.
+        tuner = FineGrainTuner(SPACE, tolerance=0.01)
+        state = FineGrainState()
+        config = TOP
+        for _ in range(60):
+            config = tuner.propose(state, config, env(config), ALL_MED)
+        needs_everything = (
+            env(TOP.replace(n_cu=28)) < 99.0
+            and env(SPACE.step_f_cu(TOP, -1)) < 99.0
+            and env(SPACE.step_f_mem(TOP, -1)) < 99.0
+        )
+        if not needs_everything:
+            assert config != TOP
+
+
+class TestRecoverySurfaces:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        start_mem=st.sampled_from([475, 625, 775, 925]),
+        need_mem=st.sampled_from([1075, 1225, 1375]),
+    )
+    def test_climbs_out_of_memory_starvation(self, start_mem, need_mem):
+        # Start below the kernel's memory need (as after a bad CG jump):
+        # the tuner must climb the bus back to (at least) the need.
+        env = bottleneck_environment(4, 300 * MHZ, need_mem * MHZ)
+        tuner = FineGrainTuner(SPACE, tolerance=0.01)
+        state = FineGrainState()
+        config = TOP.replace(f_mem=start_mem * MHZ)
+        for _ in range(40):
+            config = tuner.propose(state, config, env(config), ALL_MED)
+        assert config.f_mem >= need_mem * MHZ * 0.999

@@ -1,0 +1,57 @@
+"""Unit tests for :mod:`repro.memory.gddr5`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CalibrationError
+from repro.memory.gddr5 import Gddr5Timing, HD7970_GDDR5_TIMING
+from repro.units import MHZ, NS
+
+
+class TestAccessLatency:
+    def test_latency_at_max_frequency(self):
+        latency = HD7970_GDDR5_TIMING.access_latency(1375 * MHZ)
+        assert 300 * NS < latency < 400 * NS
+
+    def test_latency_at_min_frequency(self):
+        latency = HD7970_GDDR5_TIMING.access_latency(475 * MHZ)
+        assert 450 * NS < latency < 600 * NS
+
+    def test_latency_grows_sublinearly_as_bus_slows(self):
+        # Halving the bus frequency must far-less-than-double the latency
+        # (the fixed array component dominates) — this is why low-occupancy
+        # kernels are insensitive to memory frequency (Figure 7).
+        fast = HD7970_GDDR5_TIMING.access_latency(1375 * MHZ)
+        slow = HD7970_GDDR5_TIMING.access_latency(1375 * MHZ / 2)
+        assert slow < 1.5 * fast
+
+    @given(st.floats(min_value=100e6, max_value=2e9))
+    def test_latency_above_fixed_floor(self, f_mem):
+        latency = HD7970_GDDR5_TIMING.access_latency(f_mem)
+        assert latency > HD7970_GDDR5_TIMING.fixed_latency
+
+    @given(st.floats(min_value=100e6, max_value=1.9e9))
+    def test_latency_monotone_decreasing_in_frequency(self, f_mem):
+        assert HD7970_GDDR5_TIMING.access_latency(f_mem) > \
+            HD7970_GDDR5_TIMING.access_latency(f_mem * 1.05)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(CalibrationError):
+            HD7970_GDDR5_TIMING.access_latency(0.0)
+
+
+class TestValidation:
+    def test_rejects_bad_fixed_latency(self):
+        with pytest.raises(CalibrationError):
+            Gddr5Timing(fixed_latency=0.0, bus_cycles=100, burst_bytes=64)
+
+    def test_rejects_bad_bus_cycles(self):
+        with pytest.raises(CalibrationError):
+            Gddr5Timing(fixed_latency=1e-7, bus_cycles=0, burst_bytes=64)
+
+    def test_rejects_bad_burst(self):
+        with pytest.raises(CalibrationError):
+            Gddr5Timing(fixed_latency=1e-7, bus_cycles=100, burst_bytes=0)
+
+    def test_default_burst_is_l2_line(self):
+        assert HD7970_GDDR5_TIMING.burst_bytes == 64

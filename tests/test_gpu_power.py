@@ -1,0 +1,104 @@
+"""Unit tests for :mod:`repro.power.gpu_power`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CalibrationError
+from repro.platform.calibration import default_calibration
+from repro.units import GHZ, MHZ
+
+MODEL = default_calibration().gpu_power_model()
+
+
+class TestChipPower:
+    def test_boost_magnitude_under_compute_load(self):
+        # Calibration target: ~130-170 W chip power for a fully busy GPU.
+        power = MODEL.chip_power(32, 1 * GHZ, activity=1.0)
+        assert 120.0 < power < 180.0
+
+    def test_power_gating_removes_cu_power(self):
+        full = MODEL.chip_power(32, 1 * GHZ, activity=0.5)
+        gated = MODEL.chip_power(4, 1 * GHZ, activity=0.5)
+        # 28 of 32 CUs gated: the chip should lose well over half its power.
+        assert gated < 0.45 * full
+
+    def test_dvfs_scaling_is_superlinear(self):
+        # Voltage drops with frequency, so power falls faster than f.
+        fast = MODEL.chip_power(32, 1 * GHZ, activity=0.8)
+        slow = MODEL.chip_power(32, 500 * MHZ, activity=0.8)
+        assert slow < 0.5 * fast
+
+    def test_activity_scales_dynamic_power(self):
+        busy = MODEL.chip_power(32, 1 * GHZ, activity=1.0)
+        idle = MODEL.chip_power(32, 1 * GHZ, activity=0.1)
+        assert idle < busy
+        assert idle > 0.1 * busy  # leakage + uncore floor remains
+
+
+class TestActivityFactor:
+    def test_fully_busy_compute(self):
+        activity = MODEL.activity_factor(100.0, 100.0, 0.0)
+        assert activity == pytest.approx(1.0)
+
+    def test_divergence_reduces_activity(self):
+        coherent = MODEL.activity_factor(100.0, 100.0, 0.0)
+        divergent = MODEL.activity_factor(100.0, 30.0, 0.0)
+        assert divergent < coherent
+
+    def test_memory_work_contributes(self):
+        quiet = MODEL.activity_factor(10.0, 100.0, 0.0)
+        memory_busy = MODEL.activity_factor(10.0, 100.0, 100.0)
+        assert memory_busy > quiet
+
+    def test_floor(self):
+        assert MODEL.activity_factor(0.0, 0.0, 0.0) == \
+            pytest.approx(MODEL.min_activity)
+
+    def test_rejects_out_of_range_counter(self):
+        with pytest.raises(CalibrationError):
+            MODEL.activity_factor(120.0, 50.0, 50.0)
+
+    @given(
+        busy=st.floats(min_value=0, max_value=100),
+        util=st.floats(min_value=0, max_value=100),
+        mem=st.floats(min_value=0, max_value=100),
+    )
+    def test_activity_bounded(self, busy, util, mem):
+        activity = MODEL.activity_factor(busy, util, mem)
+        assert MODEL.min_activity <= activity <= 1.0
+
+
+class TestValidation:
+    def test_rejects_zero_cus(self):
+        with pytest.raises(CalibrationError):
+            MODEL.chip_power(0, 1 * GHZ, 0.5)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(CalibrationError):
+            MODEL.chip_power(32, 0.0, 0.5)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(CalibrationError):
+            MODEL.chip_power(32, 1 * GHZ, 1.5)
+
+
+class TestProperties:
+    @given(
+        n_cu=st.sampled_from([4, 8, 16, 24, 32]),
+        f_ratio=st.floats(min_value=0.3, max_value=1.0),
+        activity=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_power_positive(self, n_cu, f_ratio, activity):
+        assert MODEL.chip_power(n_cu, f_ratio * GHZ, activity) > 0
+
+    @given(n_cu=st.sampled_from([4, 8, 16, 24]))
+    def test_power_monotone_in_cus(self, n_cu):
+        smaller = MODEL.chip_power(n_cu, 1 * GHZ, 0.5)
+        larger = MODEL.chip_power(n_cu + 4, 1 * GHZ, 0.5)
+        assert larger > smaller
+
+    @given(f_mhz=st.sampled_from([300, 400, 500, 600, 700, 800, 900]))
+    def test_power_monotone_in_frequency(self, f_mhz):
+        slower = MODEL.chip_power(32, f_mhz * MHZ, 0.5)
+        faster = MODEL.chip_power(32, (f_mhz + 100) * MHZ, 0.5)
+        assert faster > slower

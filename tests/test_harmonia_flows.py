@@ -1,0 +1,100 @@
+"""Targeted flow tests for Harmonia's observe/decide paths."""
+
+import pytest
+
+from repro.core.harmonia import HarmoniaPolicy
+from repro.core.policy import LaunchContext
+from repro.units import GHZ, MHZ
+from repro.workloads.registry import get_kernel
+
+
+def make_policy(context, **kwargs):
+    training = context.training
+    return HarmoniaPolicy(context.platform.config_space, training.compute,
+                          training.bandwidth, **kwargs)
+
+
+def drive(context, policy, spec, iterations, start=0):
+    configs = []
+    for i in range(start, start + iterations):
+        launch = LaunchContext(kernel_name=spec.name, iteration=i, spec=spec)
+        config = policy.config_for(launch)
+        result = context.platform.run_kernel(spec, config)
+        policy.observe(launch, result)
+        configs.append(config)
+    return configs
+
+
+class TestCgValidationFlow:
+    def test_bad_jump_reverted_within_two_iterations(self, context):
+        # Streamcluster: the MED compute jump costs ~30%; the validation
+        # must restore the pre-jump configuration immediately.
+        spec = get_kernel("Streamcluster.ComputeCost").base
+        policy = make_policy(context)
+        configs = drive(context, policy, spec, 4)
+        boost = context.platform.config_space.max_config()
+        assert configs[0] == boost          # first launch inherits boost
+        assert configs[1] != boost          # the CG jump
+        assert configs[2] == boost          # validation reverted it
+
+    def test_good_jump_survives(self, context):
+        spec = get_kernel("MaxFlops.MaxFlops").base
+        policy = make_policy(context)
+        configs = drive(context, policy, spec, 10)
+        # MaxFlops's memory-bus cut is free: it must persist (modulo the
+        # one-iteration starvation probe the FG loop spends checking it).
+        assert configs[1].f_mem == pytest.approx(475 * MHZ)
+        assert configs[-1].f_mem == pytest.approx(475 * MHZ)
+        at_min = sum(1 for c in configs[1:]
+                     if c.f_mem == pytest.approx(475 * MHZ))
+        assert at_min >= 7
+
+
+class TestFgPatienceFlow:
+    def test_fg_waits_for_phase_stability(self, context):
+        spec = get_kernel("Stencil.Stencil2D").base
+        policy = make_policy(context, fg_patience=3)
+        configs = drive(context, policy, spec, 4)
+        # Launches 2 and 3 (after the CG jump at observation 0) must hold
+        # the CG target until the patience threshold passes.
+        assert configs[2] == configs[1]
+
+    def test_impatient_fg_moves_sooner(self, context):
+        spec = get_kernel("Stencil.Stencil2D").base
+        patient = make_policy(context, fg_patience=4)
+        impatient = make_policy(context, fg_patience=1)
+        patient_configs = drive(context, patient, spec, 4)
+        impatient_configs = drive(context, impatient, spec, 4)
+        assert impatient_configs[2] != patient_configs[2] or \
+            impatient_configs[3] != patient_configs[3]
+
+
+class TestKernelIndependence:
+    def test_kernels_tuned_independently(self, context):
+        policy = make_policy(context)
+        maxflops = get_kernel("MaxFlops.MaxFlops").base
+        devmem = get_kernel("DeviceMemory.DeviceMemory").base
+        for i in range(6):
+            for spec in (maxflops, devmem):
+                launch = LaunchContext(kernel_name=spec.name, iteration=i,
+                                       spec=spec)
+                config = policy.config_for(launch)
+                policy.observe(launch,
+                               context.platform.run_kernel(spec, config))
+        mf_config = policy.history_for(maxflops.name).current_config
+        dm_config = policy.history_for(devmem.name).current_config
+        assert mf_config.f_mem == pytest.approx(475 * MHZ)
+        assert dm_config.f_mem == pytest.approx(1375 * MHZ)
+
+
+class TestParameterValidation:
+    def test_bad_patience_rejected(self, context):
+        with pytest.raises(ValueError):
+            make_policy(context, fg_patience=0)
+
+    def test_history_initial_config_is_boost(self, context):
+        policy = make_policy(context)
+        spec = get_kernel("LUD.Internal").base
+        launch = LaunchContext(kernel_name=spec.name, iteration=0, spec=spec)
+        assert policy.config_for(launch) == \
+            context.platform.config_space.max_config()

@@ -1,0 +1,123 @@
+"""Unit and property tests for :mod:`repro.perf.kernelspec`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import KernelSpecError
+from repro.perf.kernelspec import KernelSpec
+
+
+def spec(**overrides):
+    defaults = dict(
+        name="Test.Kernel",
+        total_workitems=1 << 16,
+        workgroup_size=256,
+        valu_insts_per_item=100.0,
+        vfetch_insts_per_item=4.0,
+        vwrite_insts_per_item=2.0,
+    )
+    defaults.update(overrides)
+    return KernelSpec(**defaults)
+
+
+class TestValidation:
+    def test_valid_spec_builds(self):
+        assert spec().name == "Test.Kernel"
+
+    @pytest.mark.parametrize("field,value", [
+        ("total_workitems", 0),
+        ("workgroup_size", 0),
+        ("valu_insts_per_item", -1.0),
+        ("vfetch_insts_per_item", -1.0),
+        ("bytes_per_fetch", -1.0),
+        ("branch_divergence", 1.0),
+        ("branch_divergence", -0.1),
+        ("l2_hit_rate", 1.5),
+        ("l2_thrash_sensitivity", -0.1),
+        ("outstanding_per_wave", 0.0),
+        ("access_efficiency", 0.0),
+        ("access_efficiency", 1.1),
+        ("launch_overhead", -1e-6),
+        ("overlap_inefficiency", 1.5),
+    ])
+    def test_rejects_bad_field(self, field, value):
+        with pytest.raises(KernelSpecError):
+            spec(**{field: value})
+
+    def test_rejects_empty_kernel(self):
+        with pytest.raises(KernelSpecError):
+            spec(valu_insts_per_item=0.0, vfetch_insts_per_item=0.0,
+                 vwrite_insts_per_item=0.0)
+
+
+class TestDerivedQuantities:
+    def test_lane_utilization(self):
+        assert spec(branch_divergence=0.25).lane_utilization == \
+            pytest.approx(0.75)
+
+    def test_mem_insts(self):
+        assert spec().mem_insts_per_item == pytest.approx(6.0)
+
+    def test_footprint(self):
+        s = spec(bytes_per_fetch=8.0, bytes_per_write=16.0)
+        assert s.footprint_bytes_per_item == pytest.approx(4 * 8 + 2 * 16)
+
+    def test_demanded_ops_per_byte(self):
+        s = spec(l2_hit_rate=0.5, bytes_per_fetch=4.0, bytes_per_write=4.0)
+        dram_bytes = (4 * 4 + 2 * 4) * 0.5
+        assert s.demanded_ops_per_byte() == pytest.approx(100.0 / dram_bytes)
+
+    def test_zero_traffic_kernel_has_finite_demand(self):
+        s = spec(vfetch_insts_per_item=0.0, vwrite_insts_per_item=0.0)
+        assert s.demanded_ops_per_byte() == pytest.approx(1.0e6)
+
+
+class TestThrashModel:
+    def test_full_cus_is_base_hit_rate(self):
+        s = spec(l2_hit_rate=0.3, l2_thrash_sensitivity=0.2)
+        assert s.effective_l2_hit_rate(32, 32) == pytest.approx(0.3)
+
+    def test_fewer_cus_improve_hit_rate(self):
+        s = spec(l2_hit_rate=0.3, l2_thrash_sensitivity=0.2)
+        assert s.effective_l2_hit_rate(4, 32) > 0.3
+
+    def test_hit_rate_capped(self):
+        s = spec(l2_hit_rate=0.9, l2_thrash_sensitivity=1.0)
+        assert s.effective_l2_hit_rate(4, 32) == pytest.approx(0.98)
+
+    def test_no_thrash_sensitivity_means_constant(self):
+        s = spec(l2_hit_rate=0.3)
+        assert s.effective_l2_hit_rate(4, 32) == pytest.approx(0.3)
+
+    def test_rejects_bad_cu_count(self):
+        with pytest.raises(KernelSpecError):
+            spec().effective_l2_hit_rate(0, 32)
+
+    @given(n_cu=st.sampled_from([4, 8, 12, 16, 20, 24, 28, 32]),
+           hit=st.floats(min_value=0.0, max_value=1.0),
+           thrash=st.floats(min_value=0.0, max_value=1.0))
+    def test_hit_rate_always_valid(self, n_cu, hit, thrash):
+        s = spec(l2_hit_rate=hit, l2_thrash_sensitivity=thrash)
+        assert 0.0 <= s.effective_l2_hit_rate(n_cu, 32) <= 0.98 + 1e-12
+
+
+class TestEvolve:
+    def test_evolve_changes_field(self):
+        s = spec().evolve(branch_divergence=0.5)
+        assert s.branch_divergence == pytest.approx(0.5)
+
+    def test_evolve_preserves_others(self):
+        s = spec().evolve(branch_divergence=0.5)
+        assert s.total_workitems == spec().total_workitems
+
+    def test_evolve_validates(self):
+        with pytest.raises(KernelSpecError):
+            spec().evolve(branch_divergence=1.5)
+
+    def test_original_unchanged(self):
+        original = spec()
+        original.evolve(valu_insts_per_item=1.0)
+        assert original.valu_insts_per_item == pytest.approx(100.0)
+
+    def test_specs_are_hashable(self):
+        assert len({spec(), spec()}) == 1

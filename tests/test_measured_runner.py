@@ -1,0 +1,65 @@
+"""Tests for :mod:`repro.runtime.measurement` (the Section 6 rig)."""
+
+import pytest
+
+from repro.core.baseline import BaselinePolicy
+from repro.errors import AnalysisError
+from repro.runtime.measurement import MeasuredRunner
+from repro.runtime.simulator import ApplicationRunner
+from repro.workloads.registry import get_application
+
+
+@pytest.fixture(scope="module")
+def measured_runner(platform):
+    return MeasuredRunner(ApplicationRunner(platform))
+
+
+class TestMeasurement:
+    def test_daq_energy_close_to_analytic(self, measured_runner, space):
+        # At 1 kHz over a run of tens of milliseconds, the integration
+        # error stays within a few percent.
+        measured = measured_runner.measure(
+            get_application("CoMD"), BaselinePolicy(space)
+        )
+        assert abs(measured.measurement_error) < 0.05
+
+    def test_high_rate_converges(self, platform, space):
+        fast = MeasuredRunner(ApplicationRunner(platform),
+                              sampling_frequency=100000.0)
+        measured = fast.measure(get_application("Sort"), BaselinePolicy(space))
+        assert abs(measured.measurement_error) < 0.005
+
+    def test_measured_metrics_use_daq_energy(self, measured_runner, space):
+        measured = measured_runner.measure(
+            get_application("LUD"), BaselinePolicy(space)
+        )
+        metrics = measured.measured_metrics()
+        assert metrics.energy == pytest.approx(measured.measured_energy)
+        assert metrics.time == pytest.approx(measured.run.metrics.time)
+
+    def test_noise_averaging_recovers_mean(self, platform, space):
+        noisy = MeasuredRunner(ApplicationRunner(platform),
+                               noise_std=5.0, seed=3)
+        clean = MeasuredRunner(ApplicationRunner(platform))
+        app = get_application("Stencil")
+        averaged, runs = noisy.measure_averaged(
+            app, BaselinePolicy(space), repeats=5
+        )
+        reference = clean.measure(app, BaselinePolicy(space))
+        assert len(runs) == 5
+        assert averaged.energy == pytest.approx(
+            reference.measured_energy, rel=0.03
+        )
+
+    def test_zero_repeats_rejected(self, measured_runner, space):
+        with pytest.raises(AnalysisError):
+            measured_runner.measure_averaged(
+                get_application("Sort"), BaselinePolicy(space), repeats=0
+            )
+
+    def test_distinct_seeds_differ(self, platform, space):
+        noisy = MeasuredRunner(ApplicationRunner(platform), noise_std=5.0)
+        app = get_application("Sort")
+        a = noisy.measure(app, BaselinePolicy(space), seed=1)
+        b = noisy.measure(app, BaselinePolicy(space), seed=2)
+        assert a.measured_energy != b.measured_energy

@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.sensitivity.measurement` (Section 4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.sensitivity.measurement import (
+    measure_sensitivities,
+    sensitivity_between,
+)
+from repro.workloads.registry import get_kernel
+
+
+class TestSensitivityBetween:
+    def test_perfect_scaling_is_one(self):
+        # P proportional to x: time halves when x doubles.
+        assert sensitivity_between(2.0, 1.0, 1.0, 2.0) == pytest.approx(1.0)
+
+    def test_no_scaling_is_zero(self):
+        assert sensitivity_between(1.0, 1.0, 1.0, 2.0) == pytest.approx(0.0)
+
+    def test_inverse_scaling_is_negative(self):
+        # Faster at the LOW setting (the BPT thrashing case).
+        assert sensitivity_between(0.8, 1.0, 1.0, 2.0) < 0.0
+
+    def test_partial_scaling_between_zero_and_one(self):
+        value = sensitivity_between(1.5, 1.0, 1.0, 2.0)
+        assert 0.0 < value < 1.0
+
+    @pytest.mark.parametrize("t_lo,t_hi,x_lo,x_hi", [
+        (0.0, 1.0, 1.0, 2.0),
+        (1.0, -1.0, 1.0, 2.0),
+        (1.0, 1.0, 0.0, 2.0),
+        (1.0, 1.0, 1.0, 1.0),
+    ])
+    def test_invalid_inputs(self, t_lo, t_hi, x_lo, x_hi):
+        with pytest.raises(AnalysisError):
+            sensitivity_between(t_lo, t_hi, x_lo, x_hi)
+
+    @given(
+        scale=st.floats(min_value=1.0, max_value=10.0),
+        x_ratio=st.floats(min_value=1.1, max_value=10.0),
+    )
+    def test_pure_scaling_always_one(self, scale, x_ratio):
+        # time = scale / x exactly.
+        t_lo = scale / 1.0
+        t_hi = scale / x_ratio
+        assert sensitivity_between(t_lo, t_hi, 1.0, x_ratio) == \
+            pytest.approx(1.0)
+
+
+class TestMeasuredSensitivities:
+    """Paper characterization anchors on the simulated test bed."""
+
+    def test_maxflops(self, platform):
+        m = measure_sensitivities(platform, get_kernel("MaxFlops.MaxFlops").base)
+        assert m.compute > 0.9          # compute stress benchmark
+        assert m.bandwidth < 0.1        # bandwidth-insensitive
+
+    def test_devicememory(self, platform):
+        m = measure_sensitivities(
+            platform, get_kernel("DeviceMemory.DeviceMemory").base
+        )
+        assert m.bandwidth > 0.9        # memory stress benchmark
+        # Figure 9: also compute-frequency sensitive (clock crossing).
+        assert m.f_cu > 0.5
+
+    def test_sort_bottomscan(self, platform):
+        # Figure 7: 30% occupancy -> bandwidth-insensitive;
+        # Figure 8: millions of instructions -> frequency-sensitive.
+        m = measure_sensitivities(platform, get_kernel("Sort.BottomScan").base)
+        assert m.bandwidth < 0.3
+        assert m.f_cu > 0.7
+
+    def test_comd_advance_velocity(self, platform):
+        # Figure 7: 100% occupancy -> strongly bandwidth-sensitive.
+        m = measure_sensitivities(
+            platform, get_kernel("CoMD.AdvanceVelocity").base
+        )
+        assert m.bandwidth > 0.8
+
+    def test_srad_prepare(self, platform):
+        # Figure 8: overhead-dominated -> insensitive to everything.
+        m = measure_sensitivities(platform, get_kernel("SRAD.Prepare").base)
+        assert m.f_cu < 0.3
+        assert m.bandwidth < 0.3
+
+    def test_streamcluster_truly_compute_sensitive(self, platform):
+        # Section 7.1's binning-edge story requires a truly high compute
+        # sensitivity that the predictor narrowly underestimates.
+        m = measure_sensitivities(
+            platform, get_kernel("Streamcluster.ComputeCost").base
+        )
+        assert m.compute > 0.9
+
+    def test_aggregate_is_mean_of_cu_and_frequency(self, platform):
+        m = measure_sensitivities(platform, get_kernel("MaxFlops.MaxFlops").base)
+        assert m.compute == pytest.approx(0.5 * (m.cu + m.f_cu))
+
+    def test_kernel_name_recorded(self, platform):
+        m = measure_sensitivities(platform, get_kernel("SRAD.Prepare").base)
+        assert m.kernel_name == "SRAD.Prepare"

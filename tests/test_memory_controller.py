@@ -1,0 +1,101 @@
+"""Unit tests for :mod:`repro.memory.controller`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CalibrationError
+from repro.gpu.architecture import HD7970
+from repro.memory.controller import MemoryControllerModel
+from repro.memory.gddr5 import HD7970_GDDR5_TIMING
+from repro.units import MHZ
+
+MODEL = MemoryControllerModel(arch=HD7970, timing=HD7970_GDDR5_TIMING)
+
+
+def achievable(f_mem=1375 * MHZ, n_cu=32, waves=10, outstanding=4.0, eff=0.8):
+    return MODEL.achievable_bandwidth(
+        f_mem=f_mem,
+        n_cu=n_cu,
+        waves_per_simd=waves,
+        outstanding_per_wave=outstanding,
+        access_efficiency=eff,
+    )
+
+
+class TestEfficiencyLimit:
+    def test_full_occupancy_is_efficiency_limited(self):
+        result = achievable()
+        assert result.binding_limit == "efficiency"
+        assert result.achievable == pytest.approx(0.8 * 264e9)
+
+    def test_peak_matches_equation_2(self):
+        assert achievable().peak == pytest.approx(264e9)
+
+    def test_efficiency_one_is_peak(self):
+        assert achievable(eff=1.0).efficiency_limited == pytest.approx(264e9)
+
+
+class TestMlpLimit:
+    def test_low_occupancy_is_mlp_limited(self):
+        # Three waves per SIMD with modest per-wave concurrency cannot
+        # cover the DRAM latency: the Figure 7 story.
+        result = achievable(waves=3, outstanding=1.5)
+        assert result.binding_limit == "mlp"
+        assert result.achievable < result.efficiency_limited
+
+    def test_mlp_scales_with_cus(self):
+        few = achievable(n_cu=4, waves=3, outstanding=1.5)
+        many = achievable(n_cu=32, waves=3, outstanding=1.5)
+        assert many.mlp_limited == pytest.approx(8 * few.mlp_limited)
+
+    def test_mlp_limited_kernels_insensitive_to_bus_frequency(self):
+        # The MLP ceiling moves only through latency, which is mostly
+        # frequency-independent.
+        slow = achievable(f_mem=475 * MHZ, waves=3, outstanding=1.5)
+        fast = achievable(f_mem=1375 * MHZ, waves=3, outstanding=1.5)
+        assert fast.achievable / slow.achievable < 1.6
+
+    def test_efficiency_limited_kernels_scale_with_bus_frequency(self):
+        slow = achievable(f_mem=475 * MHZ)
+        fast = achievable(f_mem=1375 * MHZ)
+        assert fast.achievable / slow.achievable == pytest.approx(
+            1375 / 475, rel=0.01
+        )
+
+
+class TestValidation:
+    def test_bad_efficiency(self):
+        with pytest.raises(CalibrationError):
+            achievable(eff=0.0)
+
+    def test_efficiency_above_one(self):
+        with pytest.raises(CalibrationError):
+            achievable(eff=1.2)
+
+    def test_bad_outstanding(self):
+        with pytest.raises(CalibrationError):
+            achievable(outstanding=0.0)
+
+    def test_bad_cu_count(self):
+        with pytest.raises(CalibrationError):
+            achievable(n_cu=0)
+
+
+class TestProperties:
+    @given(
+        f_mem=st.sampled_from([f * MHZ for f in (475, 775, 1075, 1375)]),
+        n_cu=st.sampled_from([4, 8, 16, 32]),
+        waves=st.integers(min_value=1, max_value=10),
+        outstanding=st.floats(min_value=0.5, max_value=8.0),
+        eff=st.floats(min_value=0.3, max_value=1.0),
+    )
+    def test_achievable_never_exceeds_peak(self, f_mem, n_cu, waves,
+                                           outstanding, eff):
+        result = achievable(f_mem, n_cu, waves, outstanding, eff)
+        assert 0 < result.achievable <= result.peak * (1 + 1e-9)
+
+    @given(waves=st.integers(min_value=1, max_value=9))
+    def test_more_waves_never_reduce_bandwidth(self, waves):
+        fewer = achievable(waves=waves, outstanding=1.0)
+        more = achievable(waves=waves + 1, outstanding=1.0)
+        assert more.achievable >= fewer.achievable

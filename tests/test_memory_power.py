@@ -1,0 +1,88 @@
+"""Unit tests for :mod:`repro.memory.power` (Section 2.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CalibrationError
+from repro.platform.calibration import default_calibration
+from repro.units import MHZ
+
+MODEL = default_calibration().memory_power_model()
+F_MAX = 1375 * MHZ
+F_MIN = 475 * MHZ
+
+
+class TestFrequencyScaling:
+    def test_idle_power_drops_with_bus_frequency(self):
+        # Section 2.4: lowering bus frequency lowers background and PLL
+        # power as well as PHY power.
+        assert MODEL.total_power(F_MIN, 0.0) < MODEL.total_power(F_MAX, 0.0)
+
+    def test_idle_swing_supports_figure_5(self):
+        # The idle (traffic-free) swing across the frequency range is what
+        # produces MaxFlops's ~10% board-power variation.
+        swing = MODEL.total_power(F_MAX, 0.0) - MODEL.total_power(F_MIN, 0.0)
+        assert 10.0 < swing < 25.0
+
+    def test_components_split(self):
+        breakdown = MODEL.breakdown(F_MAX, 200e9)
+        assert breakdown.background > 0
+        assert breakdown.pll_phy > 0
+        assert breakdown.activate_precharge > 0
+        assert breakdown.read_write > 0
+        assert breakdown.termination > 0
+        assert breakdown.total == pytest.approx(
+            breakdown.background + breakdown.pll_phy
+            + breakdown.activate_precharge + breakdown.read_write
+            + breakdown.termination
+        )
+
+
+class TestTrafficScaling:
+    def test_power_grows_with_traffic(self):
+        assert MODEL.total_power(F_MAX, 264e9) > MODEL.total_power(F_MAX, 0.0)
+
+    def test_full_traffic_magnitude(self):
+        # Calibration target: ~45-60 W for a fully streaming subsystem
+        # (Figure 1 shows memory as a major card-power consumer).
+        power = MODEL.total_power(F_MAX, 0.85 * 264e9)
+        assert 35.0 < power < 65.0
+
+    def test_read_write_energy_penalty_at_low_frequency(self):
+        # Section 2.4: lower bus frequency can increase read/write energy
+        # per bit due to longer intervals between array accesses.
+        slow = MODEL.breakdown(F_MIN, 90e9)
+        fast = MODEL.breakdown(F_MAX, 90e9)
+        assert slow.read_write > fast.read_write
+
+
+class TestValidation:
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(CalibrationError):
+            MODEL.total_power(0.0, 0.0)
+
+    def test_rejects_above_max_frequency(self):
+        with pytest.raises(CalibrationError):
+            MODEL.total_power(F_MAX * 1.5, 0.0)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(CalibrationError):
+            MODEL.total_power(F_MAX, -1.0)
+
+
+class TestProperties:
+    @given(
+        ratio=st.floats(min_value=0.35, max_value=1.0),
+        bw=st.floats(min_value=0.0, max_value=264e9),
+    )
+    def test_power_positive(self, ratio, bw):
+        assert MODEL.total_power(F_MAX * ratio, bw) > 0
+
+    @given(bw=st.floats(min_value=0.0, max_value=260e9))
+    def test_power_monotone_in_traffic(self, bw):
+        assert MODEL.total_power(F_MAX, bw + 1e9) > MODEL.total_power(F_MAX, bw)
+
+    @given(ratio=st.floats(min_value=0.35, max_value=0.95))
+    def test_idle_power_monotone_in_frequency(self, ratio):
+        assert MODEL.total_power(F_MAX * ratio, 0.0) < \
+            MODEL.total_power(F_MAX * min(1.0, ratio + 0.05), 0.0)

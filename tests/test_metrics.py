@@ -1,0 +1,124 @@
+"""Unit tests for :mod:`repro.runtime.metrics` (Section 3.4)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.runtime.metrics import (
+    RunMetrics,
+    ed,
+    ed2,
+    geomean,
+    improvement,
+    metrics_from_launches,
+)
+
+
+class TestEdMetrics:
+    def test_ed(self):
+        assert ed(10.0, 2.0) == pytest.approx(20.0)
+
+    def test_ed2(self):
+        assert ed2(10.0, 2.0) == pytest.approx(40.0)
+
+    def test_ed2_weighs_delay_quadratically(self):
+        # Halving delay at constant energy quarters ED2 but only halves ED.
+        assert ed2(10.0, 1.0) / ed2(10.0, 2.0) == pytest.approx(0.25)
+        assert ed(10.0, 1.0) / ed(10.0, 2.0) == pytest.approx(0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(AnalysisError):
+            ed2(-1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            ed(1.0, -1.0)
+
+    @given(e=st.floats(min_value=0, max_value=1e6),
+           d=st.floats(min_value=0, max_value=1e6))
+    def test_ed2_equals_ed_times_d(self, e, d):
+        assert ed2(e, d) == pytest.approx(ed(e, d) * d)
+
+
+class TestGeomean:
+    def test_uniform(self):
+        assert geomean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_classic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            geomean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(AnalysisError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0),
+                    min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0),
+                    min_size=2, max_size=10))
+    def test_scale_invariance(self, values):
+        g = geomean(values)
+        scaled = geomean([v * 2.0 for v in values])
+        assert scaled == pytest.approx(2.0 * g, rel=1e-9)
+
+
+class TestImprovement:
+    def test_improvement_positive_when_smaller(self):
+        assert improvement(100.0, 88.0) == pytest.approx(0.12)
+
+    def test_regression_negative(self):
+        assert improvement(100.0, 130.0) == pytest.approx(-0.30)
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(AnalysisError):
+            improvement(0.0, 1.0)
+
+
+class _FakePower:
+    def __init__(self, gpu, memory, other):
+        self.gpu = gpu
+        self.memory = memory
+        self.other = other
+
+    @property
+    def card(self):
+        return self.gpu + self.memory + self.other
+
+
+class _FakeLaunch:
+    def __init__(self, time, gpu, memory, other=10.0):
+        self.time = time
+        self.power = _FakePower(gpu, memory, other)
+
+
+class TestRunMetrics:
+    def test_aggregation(self):
+        launches = [
+            _FakeLaunch(time=1.0, gpu=100.0, memory=40.0),
+            _FakeLaunch(time=3.0, gpu=60.0, memory=40.0),
+        ]
+        metrics = metrics_from_launches(launches)
+        assert metrics.time == pytest.approx(4.0)
+        expected_energy = 1.0 * 150.0 + 3.0 * 110.0
+        assert metrics.energy == pytest.approx(expected_energy)
+        assert metrics.avg_power == pytest.approx(expected_energy / 4.0)
+        assert metrics.avg_gpu_power == pytest.approx((100.0 + 180.0) / 4.0)
+        assert metrics.avg_memory_power == pytest.approx(40.0)
+
+    def test_derived_metrics(self):
+        metrics = RunMetrics(time=2.0, energy=100.0, avg_power=50.0,
+                             avg_gpu_power=30.0, avg_memory_power=10.0)
+        assert metrics.ed == pytest.approx(200.0)
+        assert metrics.ed2 == pytest.approx(400.0)
+        assert metrics.performance == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            metrics_from_launches([])

@@ -1,0 +1,149 @@
+"""Unit tests for :mod:`repro.core.monitor` (Section 5.1's monitoring)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.core.monitor import MonitoringBlock, PhaseDetector
+from repro.perf.counters import PerfCounters
+
+
+def counters(valu_busy=50.0, valu_insts=100.0, utilization=90.0, vgpr=0.25):
+    return PerfCounters(
+        valu_utilization=utilization,
+        valu_busy=valu_busy,
+        mem_unit_busy=40.0,
+        mem_unit_stalled=5.0,
+        write_unit_stalled=2.0,
+        ic_activity=0.3,
+        norm_vgpr=vgpr,
+        norm_sgpr=0.2,
+        valu_insts_millions=valu_insts,
+        vfetch_insts_millions=10.0,
+        vwrite_insts_millions=5.0,
+    )
+
+
+class TestMonitoringBlock:
+    def test_first_sample_passes_through(self):
+        monitor = MonitoringBlock(alpha=0.4)
+        features = monitor.update("k", counters(valu_busy=80.0))
+        assert features["VALUBusy"] == pytest.approx(80.0)
+
+    def test_ewma_smooths_jumps(self):
+        monitor = MonitoringBlock(alpha=0.4)
+        monitor.update("k", counters(valu_busy=100.0))
+        smoothed = monitor.update("k", counters(valu_busy=0.0))
+        assert smoothed["VALUBusy"] == pytest.approx(60.0)
+
+    def test_converges_to_stable_value(self):
+        monitor = MonitoringBlock(alpha=0.4)
+        monitor.update("k", counters(valu_busy=100.0))
+        for _ in range(30):
+            smoothed = monitor.update("k", counters(valu_busy=20.0))
+        assert smoothed["VALUBusy"] == pytest.approx(20.0, abs=0.1)
+
+    def test_kernels_tracked_independently(self):
+        monitor = MonitoringBlock(alpha=0.4)
+        monitor.update("a", counters(valu_busy=100.0))
+        monitor.update("b", counters(valu_busy=0.0))
+        assert monitor.current("a")["VALUBusy"] == pytest.approx(100.0)
+        assert monitor.current("b")["VALUBusy"] == pytest.approx(0.0)
+
+    def test_reset_kernel(self):
+        monitor = MonitoringBlock(alpha=0.4)
+        monitor.update("k", counters(valu_busy=100.0))
+        monitor.reset_kernel("k")
+        assert monitor.current("k") is None
+        fresh = monitor.update("k", counters(valu_busy=10.0))
+        assert fresh["VALUBusy"] == pytest.approx(10.0)
+
+    def test_reset_all(self):
+        monitor = MonitoringBlock()
+        monitor.update("k", counters())
+        monitor.reset()
+        assert monitor.current("k") is None
+
+    def test_alpha_one_disables_smoothing(self):
+        monitor = MonitoringBlock(alpha=1.0)
+        monitor.update("k", counters(valu_busy=100.0))
+        smoothed = monitor.update("k", counters(valu_busy=0.0))
+        assert smoothed["VALUBusy"] == pytest.approx(0.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(PolicyError):
+            MonitoringBlock(alpha=0.0)
+        with pytest.raises(PolicyError):
+            MonitoringBlock(alpha=1.5)
+
+
+class TestPhaseDetector:
+    def test_first_observation_is_a_phase_change(self):
+        detector = PhaseDetector()
+        assert detector.phase_changed("k", counters())
+
+    def test_identical_counters_are_stable(self):
+        detector = PhaseDetector()
+        detector.phase_changed("k", counters())
+        assert not detector.phase_changed("k", counters())
+
+    def test_instruction_swing_triggers(self):
+        # Figure 14: Graph500's instruction totals swing iteration to
+        # iteration — exactly what the detector watches.
+        detector = PhaseDetector(threshold=0.10)
+        detector.phase_changed("k", counters(valu_insts=100.0))
+        assert detector.phase_changed("k", counters(valu_insts=150.0))
+
+    def test_small_drift_below_threshold_is_stable(self):
+        detector = PhaseDetector(threshold=0.10)
+        detector.phase_changed("k", counters(valu_insts=100.0))
+        assert not detector.phase_changed("k", counters(valu_insts=105.0))
+
+    def test_divergence_change_triggers(self):
+        detector = PhaseDetector()
+        detector.phase_changed("k", counters(utilization=90.0))
+        assert detector.phase_changed("k", counters(utilization=50.0))
+
+    def test_busy_fraction_change_does_not_trigger(self):
+        # VALUBusy moves with the hardware configuration; the detector
+        # must ignore it (the isolation guarantee of Algorithm 1).
+        detector = PhaseDetector()
+        detector.phase_changed("k", counters(valu_busy=100.0))
+        assert not detector.phase_changed("k", counters(valu_busy=10.0))
+
+    def test_kernels_independent(self):
+        detector = PhaseDetector()
+        detector.phase_changed("a", counters(valu_insts=100.0))
+        # First observation of "b" is a phase change regardless of "a".
+        assert detector.phase_changed("b", counters(valu_insts=100.0))
+
+    def test_reset(self):
+        detector = PhaseDetector()
+        detector.phase_changed("k", counters())
+        detector.reset()
+        assert detector.phase_changed("k", counters())
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(PolicyError):
+            PhaseDetector(threshold=0.0)
+
+    def test_identity_vector_is_scale_invariant(self):
+        # Doubling the launched work at the same per-item mix yields the
+        # same identity: sensitivities are intensive properties.
+        small = PhaseDetector.identity_of(counters(valu_insts=100.0))
+        large = PhaseDetector.identity_of(PerfCounters(
+            valu_utilization=90.0, valu_busy=50.0, mem_unit_busy=40.0,
+            mem_unit_stalled=5.0, write_unit_stalled=2.0, ic_activity=0.3,
+            norm_vgpr=0.25, norm_sgpr=0.2,
+            valu_insts_millions=200.0, vfetch_insts_millions=20.0,
+            vwrite_insts_millions=10.0,
+        ))
+        assert small == pytest.approx(large)
+
+    def test_identity_vector_contents(self):
+        identity = PhaseDetector.identity_of(counters(
+            valu_insts=100.0, utilization=88.0, vgpr=0.5
+        ))
+        assert identity[0] == pytest.approx(10.0 / 100.0)   # fetch/valu
+        assert identity[1] == pytest.approx(5.0 / 100.0)    # write/valu
+        assert identity[2] == pytest.approx(88.0)
+        assert identity[3] == pytest.approx(0.5)

@@ -1,0 +1,143 @@
+"""Unit and property tests for :mod:`repro.gpu.occupancy` (Figure 7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import KernelSpecError
+from repro.gpu.architecture import HD7970
+from repro.gpu.occupancy import compute_occupancy
+
+
+def occupancy(vgpr=16, sgpr=24, lds=0, wg=256):
+    return compute_occupancy(
+        HD7970,
+        vgprs_per_workitem=vgpr,
+        sgprs_per_wave=sgpr,
+        lds_bytes_per_workgroup=lds,
+        workgroup_size=wg,
+    )
+
+
+class TestPaperAnchors:
+    def test_sort_bottomscan_30_percent(self):
+        # Section 3.5: 66 VGPRs -> floor(256/66) = 3 waves/SIMD = 30%.
+        result = occupancy(vgpr=66)
+        assert result.waves_per_simd == 3
+        assert result.occupancy == pytest.approx(0.30)
+        assert result.limiting_resource == "vgpr"
+
+    def test_full_occupancy_when_unconstrained(self):
+        # CoMD.AdvanceVelocity: VGPRs not limiting -> 100%.
+        result = occupancy(vgpr=16)
+        assert result.waves_per_simd == 10
+        assert result.occupancy == pytest.approx(1.0)
+        assert result.limiting_resource == "architectural"
+
+    def test_just_over_quarter_of_file(self):
+        # "more than 25% (66) of the total number of available VGPRs (256)"
+        assert occupancy(vgpr=65).waves_per_simd == 3
+        assert occupancy(vgpr=64).waves_per_simd == 4
+
+
+class TestVgprLimits:
+    @pytest.mark.parametrize("vgpr,expected_waves", [
+        (25, 10),   # 256/25 = 10.24 -> capped at the architectural 10
+        (26, 9),
+        (32, 8),
+        (52, 4),
+        (86, 2),
+        (128, 2),
+        (129, 1),
+        (256, 1),
+    ])
+    def test_wave_counts(self, vgpr, expected_waves):
+        assert occupancy(vgpr=vgpr).waves_per_simd == expected_waves
+
+    def test_vgpr_above_file_raises(self):
+        with pytest.raises(KernelSpecError):
+            occupancy(vgpr=257)
+
+
+class TestSgprLimits:
+    def test_sgpr_budget_can_bind(self):
+        # Budget is 102 x 10; a 300-SGPR wave allows only 3 waves.
+        result = occupancy(sgpr=102)
+        assert result.limits.sgpr == 10
+        result = occupancy(sgpr=100)
+        assert result.limits.sgpr == 10
+
+    def test_sgpr_above_file_raises(self):
+        with pytest.raises(KernelSpecError):
+            occupancy(sgpr=103)
+
+
+class TestLdsLimits:
+    def test_no_lds_does_not_limit(self):
+        assert occupancy(lds=0).limits.lds == HD7970.max_waves_per_simd
+
+    def test_heavy_lds_limits(self):
+        # 32 KB per 256-item workgroup: 2 groups/CU x 4 waves / 4 SIMDs = 2.
+        result = occupancy(lds=32 * 1024, wg=256)
+        assert result.waves_per_simd == 2
+        assert result.limiting_resource == "lds"
+
+    def test_lds_above_cu_capacity_raises(self):
+        with pytest.raises(KernelSpecError):
+            occupancy(lds=65 * 1024)
+
+
+class TestValidation:
+    def test_zero_workgroup_raises(self):
+        with pytest.raises(KernelSpecError):
+            occupancy(wg=0)
+
+    def test_zero_vgpr_raises(self):
+        with pytest.raises(KernelSpecError):
+            occupancy(vgpr=0)
+
+    def test_negative_lds_raises(self):
+        with pytest.raises(KernelSpecError):
+            occupancy(lds=-1)
+
+
+class TestProperties:
+    @given(
+        vgpr=st.integers(min_value=1, max_value=256),
+        sgpr=st.integers(min_value=1, max_value=102),
+        lds=st.integers(min_value=0, max_value=64 * 1024),
+        wg=st.sampled_from([64, 128, 192, 256, 512]),
+    )
+    def test_occupancy_bounded(self, vgpr, sgpr, lds, wg):
+        try:
+            result = occupancy(vgpr=vgpr, sgpr=sgpr, lds=lds, wg=wg)
+        except KernelSpecError:
+            return  # kernel genuinely cannot fit one wave: acceptable
+        assert 1 <= result.waves_per_simd <= HD7970.max_waves_per_simd
+        assert 0 < result.occupancy <= 1.0
+
+    @given(vgpr=st.integers(min_value=1, max_value=128))
+    def test_more_vgprs_never_increase_occupancy(self, vgpr):
+        fewer = occupancy(vgpr=vgpr)
+        more = occupancy(vgpr=min(256, vgpr * 2))
+        assert more.waves_per_simd <= fewer.waves_per_simd
+
+    @given(lds=st.integers(min_value=256, max_value=32 * 1024))
+    def test_more_lds_never_increases_occupancy(self, lds):
+        try:
+            smaller = occupancy(lds=lds)
+            larger = occupancy(lds=min(64 * 1024, lds * 2))
+        except KernelSpecError:
+            return
+        assert larger.waves_per_simd <= smaller.waves_per_simd
+
+    def test_binding_resource_has_smallest_limit(self):
+        result = occupancy(vgpr=66)
+        limits = result.limits
+        values = {
+            "architectural": limits.architectural,
+            "vgpr": limits.vgpr,
+            "sgpr": limits.sgpr,
+            "lds": limits.lds,
+            "workgroup_slots": limits.workgroup_slots,
+        }
+        assert values[result.limiting_resource] == min(values.values())

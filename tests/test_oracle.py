@@ -1,0 +1,66 @@
+"""Unit tests for :mod:`repro.core.oracle` (Section 7's oracle)."""
+
+import pytest
+
+from repro.core.oracle import OraclePolicy
+from repro.core.policy import LaunchContext
+from repro.runtime.metrics import ed2
+from repro.workloads.registry import get_kernel
+
+
+class TestOracle:
+    def test_finds_global_ed2_optimum(self, fresh_platform):
+        oracle = OraclePolicy(fresh_platform)
+        spec = get_kernel("LUD.Internal").base
+        best = oracle.best_config_for_spec(spec)
+        best_metric = ed2(
+            fresh_platform.run_kernel(spec, best).energy,
+            fresh_platform.run_kernel(spec, best).time,
+        )
+        # Exhaustive check: no configuration beats the oracle's choice.
+        for config in fresh_platform.config_space:
+            result = fresh_platform.run_kernel(spec, config)
+            assert ed2(result.energy, result.time) >= best_metric - 1e-18
+
+    def test_maxflops_oracle_uses_min_memory(self, fresh_platform):
+        # Figure 3a: the most energy-efficient MaxFlops point is maximum
+        # compute at the lowest memory bus frequency.
+        oracle = OraclePolicy(fresh_platform)
+        best = oracle.best_config_for_spec(get_kernel("MaxFlops.MaxFlops").base)
+        assert best.n_cu == 32
+        assert best.f_mem == pytest.approx(475e6)
+
+    def test_bpt_oracle_gates_cus(self, fresh_platform):
+        # Section 7.1: the BPT optimum gates CUs to reduce L2 interference.
+        oracle = OraclePolicy(fresh_platform)
+        best = oracle.best_config_for_spec(get_kernel("BPT.FindK").base)
+        assert best.n_cu < 32
+
+    def test_cache_hit(self, fresh_platform):
+        oracle = OraclePolicy(fresh_platform)
+        spec = get_kernel("SRAD.Prepare").base
+        first = oracle.best_config_for_spec(spec)
+        second = oracle.best_config_for_spec(spec)
+        assert first == second
+
+    def test_config_for_uses_spec(self, fresh_platform):
+        oracle = OraclePolicy(fresh_platform)
+        spec = get_kernel("MaxFlops.MaxFlops").base
+        ctx = LaunchContext(kernel_name=spec.name, iteration=0, spec=spec)
+        assert oracle.config_for(ctx) == oracle.best_config_for_spec(spec)
+
+    def test_distinct_phases_profiled_separately(self, fresh_platform):
+        oracle = OraclePolicy(fresh_platform)
+        from repro.workloads.registry import get_application
+        app = get_application("Graph500")
+        bottom = next(k for k in app.kernels
+                      if k.name == "Graph500.BottomStepUp")
+        configs = {
+            oracle.best_config_for_spec(bottom.spec_for_iteration(i))
+            for i in range(app.iterations)
+        }
+        # Phases with different ops/byte demands get different optima.
+        assert len(configs) > 1
+
+    def test_name(self, fresh_platform):
+        assert OraclePolicy(fresh_platform).name == "oracle"

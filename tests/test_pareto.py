@@ -1,0 +1,93 @@
+"""Tests for :mod:`repro.analysis.pareto`."""
+
+import pytest
+
+from repro.analysis.pareto import distance_to_frontier, pareto_frontier
+from repro.analysis.sweep import ConfigSweep
+from repro.workloads.registry import get_kernel
+
+
+@pytest.fixture(scope="module")
+def lud_sweep(platform):
+    return ConfigSweep(platform, get_kernel("LUD.Internal").base)
+
+
+@pytest.fixture(scope="module")
+def lud_frontier(lud_sweep):
+    return pareto_frontier(lud_sweep)
+
+
+class TestFrontier:
+    def test_frontier_is_selective(self, lud_frontier):
+        assert 1 <= len(lud_frontier) < lud_frontier.swept
+        assert lud_frontier.fraction_on_frontier < 0.5
+
+    def test_no_point_dominates_another(self, lud_frontier):
+        points = lud_frontier.points
+        for a in points:
+            for b in points:
+                if a is b:
+                    continue
+                dominates = (
+                    a.performance >= b.performance
+                    and a.card_power <= b.card_power
+                    and (a.performance > b.performance
+                         or a.card_power < b.card_power)
+                )
+                assert not dominates
+
+    def test_frontier_ordered_by_power(self, lud_frontier):
+        powers = [p.card_power for p in lud_frontier.points]
+        assert powers == sorted(powers)
+
+    def test_performance_rises_along_frontier(self, lud_frontier):
+        perfs = [p.performance for p in lud_frontier.points]
+        assert perfs == sorted(perfs)
+
+    def test_metric_optima_lie_on_frontier(self, lud_sweep, lud_frontier):
+        # Figure 6's three optimization targets must all be non-dominated.
+        for point in (lud_sweep.optimum_performance(),
+                      lud_sweep.optimum_ed2()):
+            assert lud_frontier.contains_config(point.config)
+
+    def test_fastest_matches_sweep_optimum(self, lud_sweep, lud_frontier):
+        assert lud_frontier.fastest().config == \
+            lud_sweep.optimum_performance().config
+
+    def test_ed2_knee_matches_sweep(self, lud_sweep, lud_frontier):
+        assert lud_frontier.knee_by_ed2().config == \
+            lud_sweep.optimum_ed2().config
+
+
+class TestDistance:
+    def test_frontier_point_has_zero_distance(self, lud_frontier, platform):
+        point = lud_frontier.knee_by_ed2()
+        gap = distance_to_frontier(lud_frontier, point.config,
+                                   result=point.result)
+        assert gap == pytest.approx(0.0, abs=1e-9)
+
+    def test_dominated_point_has_positive_distance(self, lud_frontier,
+                                                   platform, space):
+        # Max power but throttled compute: clearly dominated for LUD.
+        config = space.max_config().replace(f_cu=space.compute_frequencies[0])
+        gap = distance_to_frontier(lud_frontier, config, platform=platform)
+        assert gap > 0.2
+
+    def test_harmonia_settles_near_frontier(self, context, lud_frontier):
+        # The configuration Harmonia settles LUD.Internal at must be close
+        # to frontier-optimal for its power.
+        from repro.runtime.simulator import ApplicationRunner
+        app = context.application("LUD")
+        run = ApplicationRunner(context.platform).run(
+            app, context.harmonia_policy()
+        )
+        records = run.trace.records_for_kernel("LUD.Internal")
+        final = records[-1]
+        gap = distance_to_frontier(lud_frontier, final.config,
+                                   result=final.result)
+        assert gap < 0.10
+
+    def test_requires_platform_or_result(self, lud_frontier, space):
+        from repro.errors import AnalysisError
+        with pytest.raises(AnalysisError):
+            distance_to_frontier(lud_frontier, space.max_config())

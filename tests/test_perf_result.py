@@ -1,0 +1,61 @@
+"""Unit tests for :mod:`repro.perf.result` containers."""
+
+import pytest
+
+from repro.gpu.config import HardwareConfig
+from repro.perf.result import PowerSample, TimeBreakdown
+from repro.units import GHZ, MHZ
+from repro.workloads.registry import get_kernel
+
+
+class TestTimeBreakdown:
+    def test_total_composition(self):
+        breakdown = TimeBreakdown(compute=2.0e-3, memory=3.0e-3,
+                                  overlap_residue=0.1e-3,
+                                  launch_overhead=0.02e-3)
+        assert breakdown.total == pytest.approx(3.12e-3)
+
+    def test_compute_bound_flag(self):
+        assert TimeBreakdown(compute=2.0, memory=1.0, overlap_residue=0,
+                             launch_overhead=0).compute_bound
+        assert not TimeBreakdown(compute=1.0, memory=2.0, overlap_residue=0,
+                                 launch_overhead=0).compute_bound
+
+    def test_overhead_dominated_kernel(self):
+        # The SRAD.Prepare shape: overhead bigger than the work.
+        breakdown = TimeBreakdown(compute=5e-6, memory=3e-6,
+                                  overlap_residue=0.1e-6,
+                                  launch_overhead=60e-6)
+        assert breakdown.launch_overhead > 0.8 * breakdown.total
+
+
+class TestPowerSample:
+    def test_card_is_sum(self):
+        sample = PowerSample(gpu=90.0, memory=40.0, other=14.0)
+        assert sample.card == pytest.approx(144.0)
+
+
+class TestKernelRunResult:
+    def test_energy_and_performance(self, platform):
+        spec = get_kernel("Stencil.Stencil2D").base
+        result = platform.run_kernel(spec, platform.baseline_config())
+        assert result.energy == pytest.approx(result.power.card * result.time)
+        assert result.performance == pytest.approx(1.0 / result.time)
+
+    def test_breakdown_total_matches_time(self, platform):
+        # With noise disabled, reported time equals the model breakdown.
+        spec = get_kernel("Stencil.Stencil2D").base
+        result = platform.run_kernel(spec, platform.baseline_config())
+        assert result.time == pytest.approx(result.breakdown.total)
+
+    def test_bandwidth_limit_label(self, platform):
+        spec = get_kernel("DeviceMemory.DeviceMemory").base
+        result = platform.run_kernel(spec, platform.baseline_config())
+        assert result.bandwidth_limit in ("efficiency", "mlp", "crossing",
+                                          "none")
+
+    def test_result_is_immutable(self, platform):
+        spec = get_kernel("Stencil.Stencil2D").base
+        result = platform.run_kernel(spec, platform.baseline_config())
+        with pytest.raises(Exception):
+            result.time = 0.0

@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.sensitivity.predictor` (Tables 3, Sec 4.2-4.3)."""
+
+import pytest
+
+from repro.sensitivity.predictor import (
+    BANDWIDTH_FEATURES,
+    COMPUTE_FEATURES,
+    PAPER_BANDWIDTH_PREDICTOR,
+    PAPER_COMPUTE_PREDICTOR,
+)
+
+
+class TestPaperCoefficients:
+    """The shipped Table 3 weights, verbatim from the paper."""
+
+    def test_bandwidth_intercept(self):
+        assert PAPER_BANDWIDTH_PREDICTOR.model.intercept == pytest.approx(-0.42)
+
+    @pytest.mark.parametrize("feature,value", [
+        ("VALUUtilization", 0.003),
+        ("WriteUnitStalled", 0.011),
+        ("MemUnitBusy", 0.01),
+        ("MemUnitStalled", -0.004),
+        ("icActivity", 1.003),
+        ("NormVGPR", 1.158),
+        ("NormSGPR", -0.731),
+    ])
+    def test_bandwidth_coefficients(self, feature, value):
+        assert PAPER_BANDWIDTH_PREDICTOR.model.coefficients[feature] == \
+            pytest.approx(value)
+
+    def test_compute_intercept(self):
+        assert PAPER_COMPUTE_PREDICTOR.model.intercept == pytest.approx(0.06)
+
+    @pytest.mark.parametrize("feature,value", [
+        ("CtoMIntensity", 0.007),
+        ("NormVGPR", 0.452),
+        ("NormSGPR", 0.024),
+    ])
+    def test_compute_coefficients(self, feature, value):
+        assert PAPER_COMPUTE_PREDICTOR.model.coefficients[feature] == \
+            pytest.approx(value)
+
+    def test_paper_correlations(self):
+        # Section 4.3: 0.91 compute, 0.96 bandwidth.
+        assert PAPER_COMPUTE_PREDICTOR.model.correlation == pytest.approx(0.91)
+        assert PAPER_BANDWIDTH_PREDICTOR.model.correlation == pytest.approx(0.96)
+
+    def test_feature_subsets_match_table3(self):
+        assert set(BANDWIDTH_FEATURES) == set(
+            PAPER_BANDWIDTH_PREDICTOR.model.feature_names
+        )
+        assert set(COMPUTE_FEATURES) == set(
+            PAPER_COMPUTE_PREDICTOR.model.feature_names
+        )
+
+
+class TestPredictionClamping:
+    def test_clamped_to_unit_interval(self):
+        features = {name: 0.0 for name in BANDWIDTH_FEATURES}
+        # Intercept -0.42 alone would be negative.
+        assert PAPER_BANDWIDTH_PREDICTOR.predict_features(features) == 0.0
+
+    def test_raw_prediction_unclamped(self):
+        features = {name: 0.0 for name in BANDWIDTH_FEATURES}
+        model = PAPER_BANDWIDTH_PREDICTOR.model
+        assert model.predict(features) == pytest.approx(-0.42)
+
+    def test_saturates_at_one(self):
+        features = {name: 0.0 for name in BANDWIDTH_FEATURES}
+        features["icActivity"] = 1.0
+        features["NormVGPR"] = 1.0
+        assert PAPER_BANDWIDTH_PREDICTOR.predict_features(features) == 1.0
+
+
+class TestRetrainedPipeline:
+    """The Section 4 pipeline rerun against the simulated substrate."""
+
+    def test_training_set_covers_all_kernels_and_phases(self, training):
+        # 25 kernels plus the distinct phases of phased kernels.
+        assert len(training.dataset) >= 25
+
+    def test_bandwidth_correlation_strong(self, training):
+        # Paper: 0.96. The refit model must be comparably strong.
+        assert training.bandwidth_correlation > 0.90
+
+    def test_compute_correlation_strong(self, training):
+        # Paper: 0.91.
+        assert training.compute_correlation > 0.75
+
+    def test_prediction_errors_small(self, training):
+        # Paper: 3.03% bandwidth, 5.71% compute. Ours should be within a
+        # small factor on a different substrate.
+        bw_err, comp_err = training.prediction_errors()
+        assert bw_err < 0.15
+        assert comp_err < 0.15
+
+    def test_predicts_stress_benchmarks_correctly(self, training, platform):
+        from repro.workloads.registry import get_kernel
+        base = platform.baseline_config()
+        maxflops = platform.run_kernel(
+            get_kernel("MaxFlops.MaxFlops").base, base
+        ).counters
+        devmem = platform.run_kernel(
+            get_kernel("DeviceMemory.DeviceMemory").base, base
+        ).counters
+        assert training.bandwidth.predict(maxflops) < 0.3
+        assert training.bandwidth.predict(devmem) > 0.7
+        assert training.compute.predict(maxflops) > 0.7
+
+    def test_streamcluster_binning_edge(self, training, platform):
+        # Section 7.1: Streamcluster's prediction narrowly misses HIGH.
+        from repro.workloads.registry import get_kernel
+        counters = platform.run_kernel(
+            get_kernel("Streamcluster.ComputeCost").base,
+            platform.baseline_config(),
+        ).counters
+        predicted = training.compute.predict(counters)
+        assert 0.3 < predicted <= 0.70

@@ -1,0 +1,103 @@
+"""Unit tests for :mod:`repro.sensitivity.regression` (Section 4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.sensitivity.regression import LinearModel, fit_linear_model, pearson
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pearson([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_constant_vector_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(AnalysisError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_few_points(self):
+        with pytest.raises(AnalysisError):
+            pearson([1], [1])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100),
+                    min_size=3, max_size=30))
+    def test_bounded(self, values):
+        other = [v * 2 + 1 for v in values]
+        r = pearson(values, other)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+class TestFitLinearModel:
+    def test_recovers_exact_linear_relationship(self):
+        rows = [{"a": float(i), "b": float(i * i)} for i in range(10)]
+        targets = [3.0 + 2.0 * r["a"] - 0.5 * r["b"] for r in rows]
+        model = fit_linear_model(rows, targets, ("a", "b"))
+        assert model.intercept == pytest.approx(3.0, abs=1e-8)
+        assert model.coefficients["a"] == pytest.approx(2.0, abs=1e-8)
+        assert model.coefficients["b"] == pytest.approx(-0.5, abs=1e-8)
+        assert model.correlation == pytest.approx(1.0)
+
+    def test_prediction_matches_formula(self):
+        model = LinearModel(
+            feature_names=("x",), intercept=1.0,
+            coefficients={"x": 2.0}, correlation=1.0,
+        )
+        assert model.predict({"x": 3.0}) == pytest.approx(7.0)
+
+    def test_predict_missing_feature_raises(self):
+        model = LinearModel(
+            feature_names=("x",), intercept=0.0,
+            coefficients={"x": 1.0}, correlation=1.0,
+        )
+        with pytest.raises(AnalysisError):
+            model.predict({"y": 1.0})
+
+    def test_coefficient_rows_start_with_intercept(self):
+        model = LinearModel(
+            feature_names=("x", "y"), intercept=0.5,
+            coefficients={"x": 1.0, "y": 2.0}, correlation=0.9,
+        )
+        rows = model.coefficient_rows()
+        assert rows[0] == ("Intercept", 0.5)
+        assert rows[1] == ("x", 1.0)
+
+    def test_feature_subset_selection(self):
+        rows = [{"a": float(i), "noise": float(i % 3)} for i in range(20)]
+        targets = [1.0 + 4.0 * r["a"] for r in rows]
+        model = fit_linear_model(rows, targets, ("a",))
+        assert "noise" not in model.coefficients
+        assert model.coefficients["a"] == pytest.approx(4.0, abs=1e-8)
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(AnalysisError):
+            fit_linear_model([], [], ("a",))
+
+    def test_mismatched_targets_raise(self):
+        with pytest.raises(AnalysisError):
+            fit_linear_model([{"a": 1.0}], [1.0, 2.0], ("a",))
+
+    def test_missing_feature_in_row_raises(self):
+        with pytest.raises(AnalysisError):
+            fit_linear_model([{"a": 1.0}, {"b": 2.0}], [1.0, 2.0], ("a",))
+
+    def test_no_features_raise(self):
+        with pytest.raises(AnalysisError):
+            fit_linear_model([{"a": 1.0}], [1.0], ())
+
+    @given(
+        slope=st.floats(min_value=-5, max_value=5),
+        intercept=st.floats(min_value=-5, max_value=5),
+    )
+    def test_recovers_arbitrary_line(self, slope, intercept):
+        rows = [{"x": float(i)} for i in range(8)]
+        targets = [intercept + slope * r["x"] for r in rows]
+        model = fit_linear_model(rows, targets, ("x",))
+        assert model.intercept == pytest.approx(intercept, abs=1e-6)
+        assert model.coefficients["x"] == pytest.approx(slope, abs=1e-6)

@@ -1,0 +1,106 @@
+"""Tests for :mod:`repro.workloads.serialization`."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import serialization
+from repro.workloads.kernel import WorkloadKernel
+from repro.workloads.registry import all_applications, get_application
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("app_name", [
+        "MaxFlops", "Sort", "Graph500", "CoMD",
+    ])
+    def test_application_round_trip(self, app_name):
+        original = get_application(app_name)
+        restored = serialization.loads(serialization.dumps(original))
+        assert restored.name == original.name
+        assert restored.iterations == original.iterations
+        assert restored.kernel_names() == original.kernel_names()
+        # Every launch of every iteration must be identical.
+        for (_, _, spec_a), (_, _, spec_b) in zip(original.launches(),
+                                                  restored.launches()):
+            assert spec_a == spec_b
+
+    def test_every_registered_application_serializes(self):
+        for app in all_applications():
+            text = serialization.dumps(app)
+            restored = serialization.loads(text)
+            assert restored.total_launches() == app.total_launches()
+
+    def test_output_is_valid_json(self):
+        text = serialization.dumps(get_application("Stencil"))
+        data = json.loads(text)
+        assert data["name"] == "Stencil"
+        assert data["kernels"][0]["schedule"]["type"] == "constant"
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "app.json"
+        original = get_application("Graph500")
+        serialization.save(original, path)
+        restored = serialization.load(path)
+        assert restored.kernel_names() == original.kernel_names()
+
+
+class TestSpecSerialization:
+    def test_spec_round_trip(self):
+        spec = get_application("BPT").kernels[0].base
+        restored = serialization.spec_from_dict(
+            serialization.spec_to_dict(spec)
+        )
+        assert restored == spec
+
+    def test_unknown_field_rejected(self):
+        data = serialization.spec_to_dict(
+            get_application("BPT").kernels[0].base
+        )
+        data["turbo_mode"] = True
+        with pytest.raises(WorkloadError, match="unknown kernel-spec"):
+            serialization.spec_from_dict(data)
+
+    def test_spec_validation_still_applies(self):
+        data = serialization.spec_to_dict(
+            get_application("BPT").kernels[0].base
+        )
+        data["branch_divergence"] = 2.0
+        from repro.errors import KernelSpecError
+        with pytest.raises(KernelSpecError):
+            serialization.spec_from_dict(data)
+
+
+class TestScheduleSerialization:
+    def test_default_schedule_is_constant(self):
+        data = serialization.application_to_dict(get_application("SPMV"))
+        del data["kernels"][0]["schedule"]
+        restored = serialization.application_from_dict(data)
+        spec0 = restored.kernels[0].spec_for_iteration(0)
+        spec9 = restored.kernels[0].spec_for_iteration(9)
+        assert spec0 == spec9
+
+    def test_table_schedule_round_trip(self):
+        app = get_application("Graph500")
+        restored = serialization.loads(serialization.dumps(app))
+        bottom = next(k for k in restored.kernels
+                      if k.name == "Graph500.BottomStepUp")
+        specs = {bottom.spec_for_iteration(i).total_workitems
+                 for i in range(8)}
+        assert len(specs) > 3
+
+    def test_unknown_schedule_type_rejected(self):
+        data = serialization.application_to_dict(get_application("SPMV"))
+        data["kernels"][0]["schedule"] = {"type": "random-walk"}
+        with pytest.raises(WorkloadError, match="unknown schedule"):
+            serialization.application_from_dict(data)
+
+
+class TestErrors:
+    def test_malformed_json(self):
+        with pytest.raises(WorkloadError, match="malformed"):
+            serialization.loads("{not json")
+
+    def test_missing_keys(self):
+        with pytest.raises(WorkloadError, match="missing workload key"):
+            serialization.application_from_dict({"name": "X"})

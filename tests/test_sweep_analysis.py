@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.analysis.sweep` and :mod:`repro.analysis.balance`."""
+
+import pytest
+
+from repro.analysis.balance import find_balance_point, knee_of_curve
+from repro.analysis.sweep import ConfigSweep
+from repro.errors import AnalysisError
+from repro.units import MHZ
+from repro.workloads.registry import get_kernel
+
+
+@pytest.fixture(scope="module")
+def devmem_sweep(platform):
+    return ConfigSweep(platform, get_kernel("DeviceMemory.DeviceMemory").base)
+
+
+@pytest.fixture(scope="module")
+def maxflops_sweep(platform):
+    return ConfigSweep(platform, get_kernel("MaxFlops.MaxFlops").base)
+
+
+class TestSweep:
+    def test_covers_full_space(self, devmem_sweep, platform):
+        assert len(devmem_sweep) == len(platform.config_space)
+
+    def test_reference_point_is_min_config(self, devmem_sweep, platform):
+        assert devmem_sweep.reference_point().config == \
+            platform.config_space.min_config()
+
+    def test_curve_extraction(self, devmem_sweep):
+        curve = devmem_sweep.curve_for_memory_config(1375 * MHZ)
+        assert len(curve) == 64  # 8 CU counts x 8 frequencies
+        opbs = [p.platform_ops_per_byte for p in curve]
+        assert opbs == sorted(opbs)
+
+    def test_unknown_memory_config_raises(self, devmem_sweep):
+        with pytest.raises(AnalysisError):
+            devmem_sweep.curve_for_memory_config(999 * MHZ)
+
+    def test_power_vs_memory_curve(self, maxflops_sweep):
+        curve = maxflops_sweep.power_vs_memory(32, 1000 * MHZ)
+        assert len(curve) == 7
+        powers = [p.card_power for p in curve]
+        assert powers == sorted(powers)  # power rises with bus frequency
+
+    def test_optima_are_consistent(self, devmem_sweep):
+        perf = devmem_sweep.optimum_performance()
+        energy = devmem_sweep.optimum_energy()
+        ed2_pt = devmem_sweep.optimum_ed2()
+        assert energy.energy <= ed2_pt.energy
+        assert perf.time <= ed2_pt.time
+        assert ed2_pt.ed2 <= perf.ed2
+        assert ed2_pt.ed2 <= energy.ed2
+
+    def test_sweep_point_metrics(self, maxflops_sweep):
+        point = maxflops_sweep.optimum_performance()
+        assert point.ed == pytest.approx(point.energy * point.time)
+        assert point.ed2 == pytest.approx(point.energy * point.time ** 2)
+        assert point.performance == pytest.approx(1.0 / point.time)
+
+
+class TestBalance:
+    def test_devicememory_knee_is_interior(self, devmem_sweep):
+        # Figure 3b: the memory stress benchmark saturates well before
+        # maximum compute.
+        knee = find_balance_point(devmem_sweep, 1375 * MHZ)
+        curve = devmem_sweep.curve_for_memory_config(1375 * MHZ)
+        assert knee.platform_ops_per_byte < curve[-1].platform_ops_per_byte
+
+    def test_maxflops_knee_is_the_last_point(self, maxflops_sweep):
+        # Figure 3a: linear scaling -> the knee is the rightmost point.
+        knee = find_balance_point(maxflops_sweep, 1375 * MHZ)
+        curve = maxflops_sweep.curve_for_memory_config(1375 * MHZ)
+        peak = max(p.performance for p in curve)
+        assert knee.performance >= 0.98 * peak
+
+    def test_knee_near_paper_value(self, devmem_sweep, platform):
+        # Paper: DeviceMemory's knee at ~4x the minimum config's ops/byte.
+        reference = devmem_sweep.reference_point()
+        knee = find_balance_point(devmem_sweep, 1375 * MHZ)
+        normalized = (knee.platform_ops_per_byte
+                      / reference.platform_ops_per_byte)
+        assert 2.5 < normalized < 6.0
+
+    def test_each_memory_config_has_its_own_knee(self, devmem_sweep, platform):
+        # Section 3.2: "Each memory configuration has a different balance
+        # point". Lower bandwidth saturates at lower compute throughput.
+        knees = [
+            find_balance_point(devmem_sweep, f_mem).config
+            for f_mem in platform.config_space.memory_frequencies
+        ]
+        compute_throughputs = [k.n_cu * k.f_cu for k in knees]
+        assert compute_throughputs[0] < compute_throughputs[-1]
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(AnalysisError):
+            knee_of_curve([])
+
+    def test_negative_tolerance_raises(self, devmem_sweep):
+        curve = devmem_sweep.curve_for_memory_config(1375 * MHZ)
+        with pytest.raises(AnalysisError):
+            knee_of_curve(curve, saturation_tolerance=-0.1)

@@ -1,0 +1,96 @@
+"""Unit tests for :mod:`repro.runtime.trace` (Figures 15-16 machinery)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.gpu.config import HardwareConfig
+from repro.runtime.trace import LaunchRecord, ResidencyTable, RunTrace
+from repro.units import GHZ, MHZ
+from repro.workloads.registry import get_kernel
+
+
+def make_record(platform, kernel="MaxFlops.MaxFlops", iteration=0,
+                config=None):
+    spec = get_kernel(kernel).base
+    config = config or platform.baseline_config()
+    result = platform.run_kernel(spec, config)
+    return LaunchRecord(iteration=iteration, kernel_name=kernel,
+                        result=result)
+
+
+class TestRunTrace:
+    def test_records_in_order(self, platform):
+        trace = RunTrace()
+        for i in range(3):
+            trace.append(make_record(platform, iteration=i))
+        assert len(trace) == 3
+        assert [r.iteration for r in trace.records] == [0, 1, 2]
+
+    def test_total_time(self, platform):
+        trace = RunTrace()
+        records = [make_record(platform) for _ in range(4)]
+        for record in records:
+            trace.append(record)
+        assert trace.total_time() == pytest.approx(
+            sum(r.time for r in records)
+        )
+
+    def test_records_for_kernel(self, platform):
+        trace = RunTrace()
+        trace.append(make_record(platform, kernel="MaxFlops.MaxFlops"))
+        trace.append(make_record(platform, kernel="Sort.BottomScan"))
+        assert len(trace.records_for_kernel("Sort.BottomScan")) == 1
+
+    def test_power_segments(self, platform):
+        trace = RunTrace()
+        record = make_record(platform)
+        trace.append(record)
+        segments = trace.power_segments()
+        assert segments == ((record.time, record.power.card),)
+
+
+class TestResidency:
+    def test_fractions_sum_to_one(self, platform):
+        trace = RunTrace()
+        base = platform.baseline_config()
+        for f_mem_mhz in (1375, 925, 925, 775):
+            trace.append(make_record(
+                platform, config=base.replace(f_mem=f_mem_mhz * MHZ)
+            ))
+        table = trace.f_mem_residency()
+        assert sum(table.fractions.values()) == pytest.approx(1.0)
+
+    def test_residency_is_time_weighted(self, platform):
+        trace = RunTrace()
+        base = platform.baseline_config()
+        slow = base.replace(f_cu=300 * MHZ)
+        trace.append(make_record(platform, config=base))
+        trace.append(make_record(platform, config=slow))
+        table = trace.f_cu_residency()
+        # The slow launch takes ~3x longer, so its residency dominates.
+        assert table.fraction_at(300 * MHZ) > table.fraction_at(1 * GHZ)
+
+    def test_dominant_value(self, platform):
+        trace = RunTrace()
+        base = platform.baseline_config()
+        for __ in range(3):
+            trace.append(make_record(platform, config=base))
+        trace.append(make_record(platform,
+                                 config=base.replace(n_cu=16)))
+        assert trace.cu_residency().dominant_value() == 32
+
+    def test_unvisited_value_is_zero(self, platform):
+        trace = RunTrace()
+        trace.append(make_record(platform))
+        assert trace.f_mem_residency().fraction_at(475 * MHZ) == 0.0
+
+    def test_empty_trace_raises(self):
+        trace = RunTrace()
+        with pytest.raises(AnalysisError):
+            trace.f_mem_residency()
+
+    def test_empty_residency_table_dominant_raises(self):
+        table = ResidencyTable(tunable="x", fractions={})
+        with pytest.raises(AnalysisError):
+            table.dominant_value()

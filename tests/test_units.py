@@ -1,0 +1,61 @@
+"""Unit tests for :mod:`repro.units`."""
+
+import pytest
+
+from repro import units
+
+
+class TestFrequencyConversions:
+    def test_mhz_constant(self):
+        assert units.MHZ == 1.0e6
+
+    def test_ghz_is_thousand_mhz(self):
+        assert units.GHZ == 1000 * units.MHZ
+
+    def test_hz_to_mhz(self):
+        assert units.hz_to_mhz(925e6) == pytest.approx(925.0)
+
+    def test_mhz_to_hz(self):
+        assert units.mhz_to_hz(475.0) == pytest.approx(475e6)
+
+    def test_roundtrip(self):
+        assert units.hz_to_mhz(units.mhz_to_hz(1375.0)) == pytest.approx(1375.0)
+
+
+class TestBandwidthConversions:
+    def test_gb_per_s_is_decimal(self):
+        # Vendor bandwidth units are decimal GB, not GiB.
+        assert units.GB_PER_S == 1.0e9
+
+    def test_bytes_to_gb(self):
+        assert units.bytes_per_s_to_gb_per_s(264e9) == pytest.approx(264.0)
+
+    def test_gb_to_bytes(self):
+        assert units.gb_per_s_to_bytes_per_s(90.0) == pytest.approx(90e9)
+
+    def test_roundtrip(self):
+        assert units.bytes_per_s_to_gb_per_s(
+            units.gb_per_s_to_bytes_per_s(123.4)
+        ) == pytest.approx(123.4)
+
+
+class TestCapacityConstants:
+    def test_kb_is_binary(self):
+        assert units.KB == 1024.0
+
+    def test_mb(self):
+        assert units.MB == 1024.0 ** 2
+
+    def test_gb(self):
+        assert units.GB == 1024.0 ** 3
+
+
+class TestTimeAndEnergy:
+    def test_ns(self):
+        assert 350 * units.NS == pytest.approx(3.5e-7)
+
+    def test_seconds_to_ms(self):
+        assert units.seconds_to_ms(0.0125) == pytest.approx(12.5)
+
+    def test_joules_to_millijoules(self):
+        assert units.joules_to_millijoules(0.5) == pytest.approx(500.0)

@@ -1,0 +1,87 @@
+"""Per-kernel sanity anchors across the whole workload set.
+
+Parametrized over all 25 kernels: every kernel must be physically
+plausible on the architecture (occupancy computable, baseline run sane)
+and every application must show the boundedness its suite role implies.
+"""
+
+import pytest
+
+from repro.gpu.occupancy import compute_occupancy
+from repro.sensitivity.measurement import measure_sensitivities
+from repro.workloads.registry import all_applications, all_kernels
+
+KERNEL_NAMES = [k.name for k in all_kernels()]
+
+
+@pytest.fixture(scope="module")
+def kernels_by_name():
+    return {k.name: k for k in all_kernels()}
+
+
+class TestEveryKernel:
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_occupancy_computable(self, name, kernels_by_name, arch):
+        spec = kernels_by_name[name].base
+        result = compute_occupancy(
+            arch,
+            vgprs_per_workitem=spec.vgprs_per_workitem,
+            sgprs_per_wave=spec.sgprs_per_wave,
+            lds_bytes_per_workgroup=spec.lds_bytes_per_workgroup,
+            workgroup_size=spec.workgroup_size,
+        )
+        assert 1 <= result.waves_per_simd <= arch.max_waves_per_simd
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_baseline_run_sane(self, name, kernels_by_name, platform):
+        spec = kernels_by_name[name].base
+        result = platform.run_kernel(spec, platform.baseline_config())
+        # Millisecond-scale launches with plausible card power.
+        assert 1e-5 < result.time < 0.2
+        assert 50.0 < result.power.card < 250.0
+        assert 0 <= result.counters.valu_busy <= 100
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_min_config_is_slower(self, name, kernels_by_name, platform):
+        spec = kernels_by_name[name].base
+        fast = platform.run_kernel(spec, platform.baseline_config())
+        slow = platform.run_kernel(spec, platform.config_space.min_config())
+        assert slow.time > fast.time
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_sensitivities_bounded(self, name, kernels_by_name, platform):
+        measured = measure_sensitivities(platform, kernels_by_name[name].base)
+        # Endpoint sensitivities live in a sane band: mild negatives are
+        # possible (cache-thrash recovery), strong super-linearity is not.
+        for value in (measured.cu, measured.f_cu, measured.bandwidth,
+                      measured.compute):
+            assert -0.5 < value < 1.3
+
+
+class TestSuiteRoles:
+    def test_stress_benchmarks_bracket_the_suite(self, platform):
+        # MaxFlops has the highest compute sensitivity; DeviceMemory is
+        # among the most bandwidth-sensitive.
+        by_name = {k.name: k for k in all_kernels()}
+        maxflops = measure_sensitivities(
+            platform, by_name["MaxFlops.MaxFlops"].base
+        )
+        for kernel in all_kernels():
+            m = measure_sensitivities(platform, kernel.base)
+            assert m.compute <= maxflops.compute + 0.05
+
+    def test_each_application_has_distinct_behaviour(self, platform):
+        # The suite must span compute-bound, memory-bound, and mixed:
+        bw_sens = {}
+        for kernel in all_kernels():
+            m = measure_sensitivities(platform, kernel.base)
+            bw_sens[kernel.name] = m.bandwidth
+        assert min(bw_sens.values()) < 0.1      # some bandwidth-insensitive
+        assert max(bw_sens.values()) > 0.9      # some bandwidth-bound
+        mids = [v for v in bw_sens.values() if 0.25 < v < 0.75]
+        assert mids                              # and something in between
+
+    def test_total_launch_counts(self):
+        # The evaluation executes every kernel of every application.
+        total = sum(app.total_launches() for app in all_applications())
+        assert total > 500
