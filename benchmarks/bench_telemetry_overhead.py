@@ -1,0 +1,93 @@
+"""Null-telemetry overhead bound on the Figures 10-13 runner loop.
+
+The telemetry subsystem promises that the disabled (null-object) path is
+free: the kernel-boundary loop the ``fig10_13_evaluation`` matrix spends
+its time in must not slow down because components now carry a telemetry
+handle. This benchmark times that loop two ways over the paper's full
+application set under a Harmonia policy:
+
+* **bare**: the seed runner body inlined, with no telemetry anywhere;
+* **runner**: ``ApplicationRunner.run`` with its default null handle.
+
+and asserts the runner stays within 2% of bare (min-of-rounds timing,
+re-measured a few times to ride out scheduler noise).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.policy import LaunchContext
+from repro.runtime.simulator import ApplicationRunner
+from repro.runtime.trace import LaunchRecord, RunTrace
+
+#: Maximum tolerated slowdown of the null-telemetry runner path.
+OVERHEAD_BOUND = 1.02
+
+ROUNDS = 5
+ATTEMPTS = 4
+
+
+def _bare_run(platform, application, policy):
+    """The seed's uninstrumented runner loop, inlined."""
+    policy.reset()
+    trace = RunTrace()
+    for iteration, kernel, spec in application.launches():
+        context = LaunchContext(
+            kernel_name=kernel.name, iteration=iteration, spec=spec
+        )
+        config = policy.config_for(context)
+        result = platform.run_kernel(spec, config)
+        policy.observe(context, result)
+        trace.append(LaunchRecord(
+            iteration=iteration, kernel_name=kernel.name, result=result
+        ))
+    return trace
+
+
+def _time_sweep(run_one, applications, policy) -> float:
+    """Best-of-ROUNDS wall time of one full application sweep."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for application in applications:
+            run_one(application, policy)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_null_telemetry_overhead(ctx, emit):
+    platform = ctx.platform
+    applications = ctx.applications
+    policy = ctx.harmonia_policy()
+    runner = ApplicationRunner(platform)
+    assert not runner.telemetry.enabled
+
+    def bare(application, policy):
+        _bare_run(platform, application, policy)
+
+    def instrumented(application, policy):
+        runner.run(application, policy)
+
+    # Warm every cache (predictor training, platform state) before timing.
+    bare(applications[0], policy)
+    instrumented(applications[0], policy)
+
+    ratio = float("inf")
+    for attempt in range(ATTEMPTS):
+        bare_s = _time_sweep(bare, applications, policy)
+        runner_s = _time_sweep(instrumented, applications, policy)
+        ratio = min(ratio, runner_s / bare_s)
+        if ratio <= OVERHEAD_BOUND:
+            break
+
+    emit("telemetry_overhead", "\n".join([
+        "Null-telemetry overhead on the runner loop (all 14 applications)",
+        f"bare loop:      {bare_s * 1e3:8.2f} ms",
+        f"ApplicationRunner: {runner_s * 1e3:8.2f} ms",
+        f"best ratio:     {ratio:8.4f}  (bound {OVERHEAD_BOUND:.2f})",
+    ]))
+    assert ratio <= OVERHEAD_BOUND, (
+        f"null-telemetry runner path is {(ratio - 1):.1%} slower than the "
+        f"bare loop (bound {OVERHEAD_BOUND - 1:.0%})"
+    )

@@ -32,12 +32,13 @@ Layer map (bottom-up):
 * ``repro.sensitivity`` -- Section 4's measurement/training/prediction,
 * ``repro.core`` -- Harmonia, the PowerTune baseline, the oracle, variants,
 * ``repro.runtime`` / ``repro.analysis`` -- execution, metrics, sweeps,
+* ``repro.telemetry`` -- decision events, metrics registry, profiling,
 * ``repro.experiments`` -- one module per paper table/figure.
 """
 
 from repro.analysis.evaluation import EvaluationHarness
 from repro.core.baseline import BaselinePolicy
-from repro.core.harmonia import HarmoniaPolicy
+from repro.core.harmonia import ControllerStats, HarmoniaPolicy
 from repro.core.oracle import OraclePolicy
 from repro.core.variants import ComputeDvfsOnlyPolicy, make_cg_only_policy
 from repro.gpu.architecture import HD7970, GpuArchitecture
@@ -53,6 +54,14 @@ from repro.sensitivity.predictor import (
     SensitivityPredictor,
     train_predictors,
 )
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    JsonlSink,
+    MetricsRegistry,
+    Profiler,
+    Telemetry,
+    replay_trace,
+)
 from repro.workloads.application import Application
 from repro.workloads.registry import (
     all_applications,
@@ -66,6 +75,7 @@ __version__ = "1.0.0"
 __all__ = [
     "EvaluationHarness",
     "BaselinePolicy",
+    "ControllerStats",
     "HarmoniaPolicy",
     "OraclePolicy",
     "ComputeDvfsOnlyPolicy",
@@ -89,6 +99,12 @@ __all__ = [
     "PAPER_COMPUTE_PREDICTOR",
     "SensitivityPredictor",
     "train_predictors",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Profiler",
+    "replay_trace",
     "Application",
     "all_applications",
     "application_names",

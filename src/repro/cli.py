@@ -52,15 +52,21 @@ _FIGURES: Dict[str, str] = {
 _POLICIES = ("baseline", "harmonia", "cg-only", "dvfs-only", "oracle")
 
 
-def _build_policy(context: ExperimentContext, name: str):
+def _build_policy(context: ExperimentContext, name: str, telemetry=None):
+    if name in ("baseline", "oracle"):
+        # These comparators take no decisions worth tracing; runner-level
+        # KernelLaunch events still cover them.
+        factories = {
+            "baseline": context.baseline_policy,
+            "oracle": context.oracle_policy,
+        }
+        return factories[name]()
     factories = {
-        "baseline": context.baseline_policy,
         "harmonia": context.harmonia_policy,
         "cg-only": context.cg_only_policy,
         "dvfs-only": context.dvfs_only_policy,
-        "oracle": context.oracle_policy,
     }
-    return factories[name]()
+    return factories[name](telemetry=telemetry)
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -91,11 +97,24 @@ def cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     app = context.application(args.app)
-    policy = _build_policy(context, args.policy)
+
+    telemetry = None
+    sink = None
+    if args.trace or args.metrics_out or args.profile:
+        from repro.telemetry import JsonlSink, Telemetry
+        telemetry = Telemetry()
+        if args.trace:
+            sink = JsonlSink(args.trace)
+            telemetry.add_sink(sink)
+
+    policy = _build_policy(context, args.policy, telemetry=telemetry)
     baseline = context.baseline_policy()
+    # The baseline comparator runs un-instrumented so the trace holds
+    # only the policy under study.
     runner = ApplicationRunner(context.platform)
     base_run = runner.run(app, baseline)
-    run = runner.run(app, policy)
+    policy_runner = ApplicationRunner(context.platform, telemetry=telemetry)
+    run = policy_runner.run(app, policy)
 
     rows = []
     for label, r in (("baseline", base_run), (args.policy, run)):
@@ -117,6 +136,40 @@ def cmd_run(args: argparse.Namespace) -> int:
     print("\nmemory-bus residency:")
     for f_mem, frac in sorted(run.trace.f_mem_residency().fractions.items()):
         print(f"  {hz_to_mhz(f_mem):6.0f} MHz  {frac:6.1%}")
+
+    if telemetry is not None:
+        if sink is not None:
+            sink.close()
+            print(f"\ntelemetry trace: {sink.count} events written to "
+                  f"{sink.path}\n(summarize with: python -m repro "
+                  f"telemetry-report {sink.path})")
+        if args.metrics_out:
+            telemetry.metrics.write_json(args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+        if args.profile:
+            print("\nwall-time profile of the policy run:")
+            print(telemetry.profiler.report())
+    return 0
+
+
+def cmd_telemetry_report(args: argparse.Namespace) -> int:
+    """Summarize a JSONL telemetry trace."""
+    from repro.errors import TelemetryError
+    from repro.telemetry.export import load_events
+    from repro.telemetry.report import format_report, summarize
+
+    try:
+        events = load_events(args.trace)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    except TelemetryError as error:
+        print(f"unreadable trace {args.trace}: {error}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"trace {args.trace} holds no events", file=sys.stderr)
+        return 2
+    print(format_report(summarize(events)))
     return 0
 
 
@@ -275,7 +328,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one application under a policy")
     run_p.add_argument("app", help="application name (see: list)")
     run_p.add_argument("--policy", choices=_POLICIES, default="harmonia")
+    run_p.add_argument("--trace", metavar="PATH", default=None,
+                       help="append a JSONL telemetry trace of the policy "
+                            "run to PATH")
+    run_p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the run's metrics registry to PATH "
+                            "as JSON")
+    run_p.add_argument("--profile", action="store_true",
+                       help="print the policy run's wall-time profile")
     run_p.set_defaults(func=cmd_run)
+
+    report_p = sub.add_parser(
+        "telemetry-report",
+        help="summarize a JSONL telemetry trace (action mix, phases, "
+             "residency, top kernels)",
+    )
+    report_p.add_argument("trace", help="path to a --trace JSONL file")
+    report_p.set_defaults(func=cmd_telemetry_report)
 
     sub.add_parser("evaluate", help="the Figures 10-13 headline") \
         .set_defaults(func=cmd_evaluate)

@@ -21,6 +21,7 @@ from repro.gpu.config import ConfigSpace, HardwareConfig
 from repro.perf.counters import PerfCounters
 from repro.sensitivity.binning import Bin, SensitivityBins
 from repro.sensitivity.predictor import SensitivityPredictor
+from repro.telemetry.handle import coalesce
 
 #: Names of the three hardware tunables.
 TUNABLES: Tuple[str, ...] = ("n_cu", "f_cu", "f_mem")
@@ -62,6 +63,8 @@ class CoarseGrainTuner:
         bins: binning thresholds and per-bin range targets.
         tunables: which tunables the CG block may move (the compute-DVFS-
             only variant restricts this to ``{"f_cu"}``).
+        telemetry: telemetry handle for profiling the prediction hot path
+            and counting CG targets (disabled null handle by default).
     """
 
     def __init__(
@@ -72,7 +75,9 @@ class CoarseGrainTuner:
         bins: Optional[SensitivityBins] = None,
         tunables: FrozenSet[str] = frozenset(TUNABLES),
         bin_targets: Optional[Mapping[str, Mapping[Bin, float]]] = None,
+        telemetry=None,
     ):
+        self._telemetry = coalesce(telemetry)
         unknown = tunables - set(TUNABLES)
         if unknown:
             raise ValueError(f"unknown tunables: {sorted(unknown)}")
@@ -97,14 +102,15 @@ class CoarseGrainTuner:
 
     def snapshot_from_features(self, features) -> SensitivitySnapshot:
         """Predict sensitivities from a (possibly smoothed) feature map."""
-        compute = self._compute.predict_features(features)
-        bandwidth = self._bandwidth.predict_features(features)
-        return SensitivitySnapshot(
-            compute=compute,
-            bandwidth=bandwidth,
-            compute_bin=self._bins.classify(compute),
-            bandwidth_bin=self._bins.classify(bandwidth),
-        )
+        with self._telemetry.time("cg.predict"):
+            compute = self._compute.predict_features(features)
+            bandwidth = self._bandwidth.predict_features(features)
+            return SensitivitySnapshot(
+                compute=compute,
+                bandwidth=bandwidth,
+                compute_bin=self._bins.classify(compute),
+                bandwidth_bin=self._bins.classify(bandwidth),
+            )
 
     def target_config(self, snapshot: SensitivitySnapshot,
                       current: HardwareConfig) -> HardwareConfig:
@@ -115,6 +121,10 @@ class CoarseGrainTuner:
         fixed per-bin range fraction. Tunables outside this tuner's
         jurisdiction keep their current values.
         """
+        if self._telemetry.enabled:
+            self._telemetry.metrics.counter(
+                "cg_targets_total", "SetCU_Freq_MemBW target computations",
+            ).inc()
         jumped = self._space.fraction_to_grid(
             frac_cu=self._targets["n_cu"][snapshot.compute_bin],
             frac_f_cu=self._targets["f_cu"][snapshot.compute_bin],

@@ -51,6 +51,7 @@ from repro.errors import PolicyError
 from repro.gpu.config import ConfigSpace, HardwareConfig
 from repro.perf.result import KernelRunResult
 from repro.sensitivity.binning import Bin
+from repro.telemetry.handle import coalesce
 
 #: FG probing priority among equal bins: memory bus, CU count, frequency.
 _TIEBREAK_ORDER: Tuple[str, ...] = ("f_mem", "n_cu", "f_cu")
@@ -150,6 +151,8 @@ class FineGrainTuner:
         max_dithering: reverts tolerated before converging to the best
             state seen (the paper's ``dithering > max`` check).
         tolerance: relative feedback change treated as "stayed the same".
+        telemetry: telemetry handle for profiling the propose hot path
+            (disabled null handle by default).
     """
 
     def __init__(
@@ -158,6 +161,7 @@ class FineGrainTuner:
         tunables: Tuple[str, ...] = ("n_cu", "f_cu", "f_mem"),
         max_dithering: int = 3,
         tolerance: float = 0.01,
+        telemetry=None,
     ):
         if max_dithering < 1:
             raise PolicyError("max_dithering must be >= 1")
@@ -167,6 +171,7 @@ class FineGrainTuner:
         self._tunables = tuple(tunables)
         self._max_dithering = max_dithering
         self._tolerance = tolerance
+        self._telemetry = coalesce(telemetry)
 
     # --- grid helpers ---------------------------------------------------------
 
@@ -210,18 +215,24 @@ class FineGrainTuner:
         Returns:
             The configuration for the next launch.
         """
-        self._space.validate(current)
-        self._update_best(state, current, feedback)
+        tel = self._telemetry
+        if tel.enabled:
+            tel.metrics.counter(
+                "fg_proposals_total", "fine-grain propose() decisions",
+            ).inc()
+        with tel.time("fg.propose"):
+            self._space.validate(current)
+            self._update_best(state, current, feedback)
 
-        if state.converged:
-            return state.best[1]
+            if state.converged:
+                return state.best[1]
 
-        if state.inflight is not None:
-            outcome = self._resolve_inflight(state, current, feedback)
-            if outcome is not None:
-                return outcome
+            if state.inflight is not None:
+                outcome = self._resolve_inflight(state, current, feedback)
+                if outcome is not None:
+                    return outcome
 
-        return self._start_next_move(state, current, feedback, bins)
+            return self._start_next_move(state, current, feedback, bins)
 
     # --- best-state tracking ---------------------------------------------------------
 

@@ -41,6 +41,8 @@ from repro.gpu.config import ConfigSpace, HardwareConfig
 from repro.perf.result import KernelRunResult
 from repro.sensitivity.binning import SensitivityBins
 from repro.sensitivity.predictor import SensitivityPredictor
+from repro.telemetry import events as tm
+from repro.telemetry.handle import coalesce
 
 
 @dataclass
@@ -61,6 +63,21 @@ class _KernelControlState:
     phase_recalls: int = 0
     #: identity of the phase currently executing (for exit snapshots)
     last_identity: Optional[Tuple] = None
+
+
+@dataclass(frozen=True)
+class ControllerStats:
+    """Read-only snapshot of one kernel's controller counters.
+
+    The public face of the per-kernel control state: the Figure 18
+    CG/FG attribution and the phase bookkeeping, without reaching into
+    the policy's private ``_KernelControlState``.
+    """
+
+    cg_actions: int = 0
+    fg_actions: int = 0
+    phase_changes: int = 0
+    phase_recalls: int = 0
 
 
 class HarmoniaPolicy(HistoryMixin):
@@ -90,6 +107,9 @@ class HarmoniaPolicy(HistoryMixin):
             scratch (Section 5.1's per-kernel history, generalized to
             phases).
         policy_name: report name override.
+        telemetry: telemetry handle receiving decision events, metrics
+            and profiling samples (disabled null handle by default; with
+            it disabled the policy's decisions are bit-identical).
     """
 
     def __init__(
@@ -107,23 +127,28 @@ class HarmoniaPolicy(HistoryMixin):
         fg_patience: int = 3,
         enable_phase_memory: bool = True,
         policy_name: Optional[str] = None,
+        telemetry=None,
     ):
         super().__init__()
         self._space = space
+        self._telemetry = coalesce(telemetry)
         self._cg = CoarseGrainTuner(
             space=space,
             compute_predictor=compute_predictor,
             bandwidth_predictor=bandwidth_predictor,
             bins=bins,
             tunables=frozenset(tunables),
+            telemetry=self._telemetry,
         )
         self._fg = FineGrainTuner(
             space=space,
             tunables=tunables,
             max_dithering=max_dithering,
             tolerance=tolerance,
+            telemetry=self._telemetry,
         )
-        self._monitor = MonitoringBlock(alpha=monitor_alpha)
+        self._monitor = MonitoringBlock(alpha=monitor_alpha,
+                                        telemetry=self._telemetry)
         self._phases = PhaseDetector(threshold=phase_threshold)
         self._phase_memory = (
             PhaseMemory(threshold=phase_threshold)
@@ -157,6 +182,11 @@ class HarmoniaPolicy(HistoryMixin):
         """The per-phase configuration memory (None when disabled)."""
         return self._phase_memory
 
+    @property
+    def telemetry(self):
+        """The telemetry handle in use (the null handle when disabled)."""
+        return self._telemetry
+
     def reset(self) -> None:
         """Forget all per-kernel state (between applications)."""
         self.clear_history()
@@ -171,6 +201,26 @@ class HarmoniaPolicy(HistoryMixin):
         if kernel_name not in self._control:
             self._control[kernel_name] = _KernelControlState()
         return self._control[kernel_name]
+
+    def stats(self, kernel_name: Optional[str] = None):
+        """Read-only controller counters (the Figure 18 attribution).
+
+        Args:
+            kernel_name: return one kernel's :class:`ControllerStats`
+                (all-zero for a kernel never observed); ``None`` returns
+                a mapping over every kernel seen so far.
+        """
+        if kernel_name is None:
+            return {name: self.stats(name) for name in sorted(self._control)}
+        control = self._control.get(kernel_name)
+        if control is None:
+            return ControllerStats()
+        return ControllerStats(
+            cg_actions=control.cg_actions,
+            fg_actions=control.fg_actions,
+            phase_changes=control.phase_changes,
+            phase_recalls=control.phase_recalls,
+        )
 
     # --- policy interface ---------------------------------------------------------
 
@@ -213,6 +263,20 @@ class HarmoniaPolicy(HistoryMixin):
         snapshot = self._cg.snapshot_from_features(features)
 
         identity = self._phases.identity_of(result.counters)
+        tel = self._telemetry
+        if phase_changed and tel.enabled:
+            tel.emit(tm.PhaseChange(
+                kernel=context.kernel_name,
+                iteration=context.iteration,
+                time_s=result.time,
+                identity=tuple(identity),
+                phase_index=control.phase_changes,
+            ))
+            tel.metrics.counter(
+                "phase_changes_total",
+                "workload phase changes declared by the phase detector",
+            ).inc(kernel=context.kernel_name)
+        source = None
         if phase_changed:
             recalled = (
                 self._phase_memory.recall(context.kernel_name, identity)
@@ -223,8 +287,30 @@ class HarmoniaPolicy(HistoryMixin):
                 # configuration directly (Section 5.1's history, per phase).
                 control.phase_recalls += 1
                 next_config = recalled
+                source = "recall"
+                if tel.enabled:
+                    tel.metrics.counter(
+                        "phase_recalls_total",
+                        "recurring phases restored from phase memory",
+                    ).inc(kernel=context.kernel_name)
             else:
                 next_config = self._cg_jump(control, snapshot, result.config)
+                source = "cg"
+                if tel.enabled:
+                    tel.emit(tm.CGJump(
+                        kernel=context.kernel_name,
+                        iteration=context.iteration,
+                        time_s=result.time,
+                        old_config=result.config,
+                        new_config=next_config,
+                        compute_bin=snapshot.compute_bin.value,
+                        bandwidth_bin=snapshot.bandwidth_bin.value,
+                        compute_sensitivity=snapshot.compute,
+                        bandwidth_sensitivity=snapshot.bandwidth,
+                    ))
+                    tel.metrics.counter(
+                        "cg_actions_total", "coarse-grain jumps taken",
+                    ).inc(kernel=context.kernel_name)
             if self._enable_fg and next_config != result.config:
                 # Arm the FG loop to validate the jump (or the recall)
                 # against the pre-jump utilization rate (Section 7.3,
@@ -245,9 +331,18 @@ class HarmoniaPolicy(HistoryMixin):
                 "f_cu": snapshot.compute_bin,
                 "f_mem": snapshot.bandwidth_bin,
             }
+            pre_inflight = control.fg.inflight
+            pre_converged = control.fg.converged
+            pre_dithering = control.fg.dithering
             next_config = self._fg.propose(
                 control.fg, result.config, utilization_rate(result), tunable_bins
             )
+            source = "fg"
+            if tel.enabled:
+                self._emit_fg_telemetry(
+                    context, result, control, snapshot, pre_inflight,
+                    pre_converged, pre_dithering, next_config,
+                )
         else:
             next_config = result.config
 
@@ -255,6 +350,19 @@ class HarmoniaPolicy(HistoryMixin):
         history.config_changed_last = next_config != result.config
         history.current_config = next_config
         control.last_snapshot = snapshot
+        if tel.enabled and source is not None and next_config != result.config:
+            tel.emit(tm.ConfigApplied(
+                kernel=context.kernel_name,
+                iteration=context.iteration,
+                time_s=result.time,
+                old_config=result.config,
+                new_config=next_config,
+                source=source,
+            ))
+            tel.metrics.counter(
+                "config_changes_total",
+                "configuration changes applied, by deciding block",
+            ).inc(kernel=context.kernel_name, source=source)
         if self._phase_memory is not None and control.fg.inflight is None:
             # Remember the phase's configuration only at settle points —
             # never a transient FG probe awaiting its feedback.
@@ -267,3 +375,76 @@ class HarmoniaPolicy(HistoryMixin):
                  current: HardwareConfig) -> HardwareConfig:
         control.cg_actions += 1
         return self._cg.target_config(snapshot, current)
+
+    def _emit_fg_telemetry(self, context: LaunchContext,
+                           result: KernelRunResult,
+                           control: _KernelControlState,
+                           snapshot: SensitivitySnapshot,
+                           pre_inflight, pre_converged: bool,
+                           pre_dithering: int,
+                           next_config: HardwareConfig) -> None:
+        """Classify one FG engagement into step/revert/converged events.
+
+        The tuner mutates its state in place, so the engagement's nature
+        is read off the pre/post deltas: a dithering increment is a
+        revert (of ``pre_inflight``'s tunable, or of a whole CG jump
+        under validation), a fresh ``converged`` flag is convergence,
+        and any other configuration change is a forward step.
+        """
+        tel = self._telemetry
+        kernel = context.kernel_name
+        tel.metrics.counter(
+            "fg_actions_total", "fine-grain engagements",
+        ).inc(kernel=kernel)
+        reverted = control.fg.dithering > pre_dithering
+        if reverted:
+            tel.emit(tm.FGRevert(
+                kernel=kernel,
+                iteration=context.iteration,
+                time_s=result.time,
+                tunable=pre_inflight.tunable if pre_inflight else "?",
+                old_config=result.config,
+                new_config=next_config,
+            ))
+            tel.metrics.counter(
+                "fg_dither_events_total", "fine-grain reverts (dithering)",
+            ).inc(kernel=kernel)
+        if control.fg.converged and not pre_converged:
+            tel.emit(tm.FGConverged(
+                kernel=kernel,
+                iteration=context.iteration,
+                time_s=result.time,
+                config=next_config,
+            ))
+            tel.metrics.counter(
+                "fg_converged_total", "fine-grain convergence events",
+            ).inc(kernel=kernel)
+        elif not reverted and next_config != result.config:
+            tunable, direction = _moved_tunable(result.config, next_config)
+            tel.emit(tm.FGStep(
+                kernel=kernel,
+                iteration=context.iteration,
+                time_s=result.time,
+                tunable=tunable,
+                direction=direction,
+                old_config=result.config,
+                new_config=next_config,
+                compute_bin=snapshot.compute_bin.value,
+                bandwidth_bin=snapshot.bandwidth_bin.value,
+            ))
+            tel.metrics.counter(
+                "fg_steps_total", "fine-grain grid steps taken",
+            ).inc(kernel=kernel)
+
+
+def _moved_tunable(old: HardwareConfig,
+                   new: HardwareConfig) -> Tuple[str, int]:
+    """(tunable, direction) of a one-tunable move; ("multi", 0) otherwise."""
+    moved = [
+        (name, 1 if getattr(new, name) > getattr(old, name) else -1)
+        for name in TUNABLES
+        if getattr(new, name) != getattr(old, name)
+    ]
+    if len(moved) == 1:
+        return moved[0]
+    return ("multi", 0)

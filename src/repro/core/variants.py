@@ -24,6 +24,7 @@ def make_cg_only_policy(
     compute_predictor: SensitivityPredictor,
     bandwidth_predictor: SensitivityPredictor,
     bins: Optional[SensitivityBins] = None,
+    telemetry=None,
 ) -> HarmoniaPolicy:
     """Harmonia with the FG loop disabled (the "CG" bars)."""
     return HarmoniaPolicy(
@@ -33,6 +34,7 @@ def make_cg_only_policy(
         bins=bins,
         enable_fg=False,
         policy_name="cg-only",
+        telemetry=telemetry,
     )
 
 
@@ -50,6 +52,7 @@ class ComputeDvfsOnlyPolicy(HarmoniaPolicy):
         compute_predictor: SensitivityPredictor,
         bandwidth_predictor: SensitivityPredictor,
         bins: Optional[SensitivityBins] = None,
+        telemetry=None,
     ):
         super().__init__(
             space=space,
@@ -59,4 +62,5 @@ class ComputeDvfsOnlyPolicy(HarmoniaPolicy):
             enable_fg=True,
             tunables=("f_cu",),
             policy_name="dvfs-only",
+            telemetry=telemetry,
         )

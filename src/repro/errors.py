@@ -48,3 +48,12 @@ class WorkloadError(ReproError):
 
 class AnalysisError(ReproError):
     """A sweep/analysis helper was used on inconsistent data."""
+
+
+class TelemetryError(ReproError):
+    """The telemetry subsystem was misused or fed an unreadable trace.
+
+    Examples: registering one metric name as two different instrument
+    types, loading a JSONL trace written under a different schema
+    version, or a record naming an unknown event type.
+    """

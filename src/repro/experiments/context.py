@@ -62,25 +62,28 @@ class ExperimentContext:
         """A fresh PowerTune baseline policy."""
         return BaselinePolicy(self._platform.config_space)
 
-    def harmonia_policy(self) -> HarmoniaPolicy:
+    def harmonia_policy(self, telemetry=None) -> HarmoniaPolicy:
         """A fresh Harmonia (FG+CG) policy with trained predictors."""
         training = self.training
         return HarmoniaPolicy(
-            self._platform.config_space, training.compute, training.bandwidth
+            self._platform.config_space, training.compute, training.bandwidth,
+            telemetry=telemetry,
         )
 
-    def cg_only_policy(self) -> HarmoniaPolicy:
+    def cg_only_policy(self, telemetry=None) -> HarmoniaPolicy:
         """A fresh CG-only policy."""
         training = self.training
         return make_cg_only_policy(
-            self._platform.config_space, training.compute, training.bandwidth
+            self._platform.config_space, training.compute, training.bandwidth,
+            telemetry=telemetry,
         )
 
-    def dvfs_only_policy(self) -> ComputeDvfsOnlyPolicy:
+    def dvfs_only_policy(self, telemetry=None) -> ComputeDvfsOnlyPolicy:
         """A fresh compute-DVFS-only policy (Section 7.2)."""
         training = self.training
         return ComputeDvfsOnlyPolicy(
-            self._platform.config_space, training.compute, training.bandwidth
+            self._platform.config_space, training.compute, training.bandwidth,
+            telemetry=telemetry,
         )
 
     def oracle_policy(self) -> OraclePolicy:

@@ -100,13 +100,12 @@ def run(context: ExperimentContext = None) -> PhaseMemoryResult:
     without = runner.run(app, without_policy, reset_policy=False)
     with_recall = runner.run(app, with_policy, reset_policy=False)
 
-    control = with_policy.control_state(KERNEL)
     return PhaseMemoryResult(
         ed2_without=1 - without.metrics.ed2 / baseline.metrics.ed2,
         ed2_with=1 - with_recall.metrics.ed2 / baseline.metrics.ed2,
         perf_without=baseline.metrics.time / without.metrics.time - 1,
         perf_with=baseline.metrics.time / with_recall.metrics.time - 1,
-        recalls=control.phase_recalls,
+        recalls=with_policy.stats(KERNEL).phase_recalls,
         distinct_phases=with_policy.phase_memory.phase_count(KERNEL),
     )
 

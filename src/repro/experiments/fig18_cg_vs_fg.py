@@ -44,6 +44,8 @@ class ConvergenceRow:
 
     kernel: str
     iterations_to_settle: int
+    cg_actions: int = 0
+    fg_actions: int = 0
 
 
 @dataclass(frozen=True)
@@ -62,19 +64,28 @@ class CgFgResult:
         return 0.5 * (counts[mid - 1] + counts[mid])
 
 
-def _settle_iterations(context: ExperimentContext, app_name: str) -> Dict[str, int]:
+def _settle_iterations(
+    context: ExperimentContext, app_name: str
+) -> Dict[str, ConvergenceRow]:
     """Iterations until each kernel's configuration stops changing."""
     app = context.application(app_name)
     runner = ApplicationRunner(context.platform)
-    result = runner.run(app, context.harmonia_policy())
-    settle: Dict[str, int] = {}
+    policy = context.harmonia_policy()
+    result = runner.run(app, policy)
+    settle: Dict[str, ConvergenceRow] = {}
     for kernel in app.kernels:
         records = result.trace.records_for_kernel(kernel.name)
         last_change = 0
         for index in range(1, len(records)):
             if records[index].config != records[index - 1].config:
                 last_change = index
-        settle[kernel.name] = last_change
+        stats = policy.stats(kernel.name)
+        settle[kernel.name] = ConvergenceRow(
+            kernel=kernel.name,
+            iterations_to_settle=last_change,
+            cg_actions=stats.cg_actions,
+            fg_actions=stats.fg_actions,
+        )
     return settle
 
 
@@ -92,9 +103,7 @@ def run(context: ExperimentContext = None) -> CgFgResult:
     )
     convergence = []
     for app_name in ("Sort", "Stencil", "miniFE"):
-        for kernel, iters in _settle_iterations(context, app_name).items():
-            convergence.append(ConvergenceRow(kernel=kernel,
-                                              iterations_to_settle=iters))
+        convergence.extend(_settle_iterations(context, app_name).values())
     return CgFgResult(contributions=contributions,
                       convergence=tuple(convergence))
 
@@ -112,8 +121,9 @@ def format_report(result: CgFgResult) -> str:
                "(paper: FG dominates for CG outliers like LUD/SPMV)"),
     )
     convergence = format_table(
-        headers=("kernel", "iterations to settle"),
-        rows=[(r.kernel, str(r.iterations_to_settle))
+        headers=("kernel", "iterations to settle", "CG actions", "FG actions"),
+        rows=[(r.kernel, str(r.iterations_to_settle),
+               str(r.cg_actions), str(r.fg_actions))
               for r in result.convergence],
         title=(f"Convergence (median {result.median_settle_iterations():.0f} "
                "iterations; paper: CG 1 iteration + FG 3-4)"),

@@ -18,6 +18,8 @@ from repro.core.policy import LaunchContext, PowerPolicy
 from repro.platform.hd7970 import HardwarePlatform
 from repro.runtime.metrics import RunMetrics, metrics_from_launches
 from repro.runtime.trace import LaunchRecord, RunTrace
+from repro.telemetry.events import KernelLaunch
+from repro.telemetry.handle import coalesce
 from repro.workloads.application import Application
 
 
@@ -32,15 +34,29 @@ class RunResult:
 
 
 class ApplicationRunner:
-    """Executes applications on a platform under a policy."""
+    """Executes applications on a platform under a policy.
 
-    def __init__(self, platform: HardwarePlatform):
+    Args:
+        platform: the test bed to drive.
+        telemetry: telemetry handle receiving per-launch events, the
+            ``launch_time_seconds`` histogram and the runtime wall-time
+            profile (disabled null handle by default; the disabled path
+            runs the seed-identical tight loop).
+    """
+
+    def __init__(self, platform: HardwarePlatform, telemetry=None):
         self._platform = platform
+        self._telemetry = coalesce(telemetry)
 
     @property
     def platform(self) -> HardwarePlatform:
         """The test bed being driven."""
         return self._platform
+
+    @property
+    def telemetry(self):
+        """The telemetry handle in use (the null handle when disabled)."""
+        return self._telemetry
 
     def run(self, application: Application, policy: PowerPolicy,
             reset_policy: bool = True) -> RunResult:
@@ -55,6 +71,8 @@ class ApplicationRunner:
         """
         if reset_policy:
             policy.reset()
+        if self._telemetry.enabled:
+            return self._run_instrumented(application, policy)
         trace = RunTrace()
         for iteration, kernel, spec in application.launches():
             context = LaunchContext(
@@ -66,6 +84,46 @@ class ApplicationRunner:
             trace.append(LaunchRecord(
                 iteration=iteration, kernel_name=kernel.name, result=result
             ))
+        return self._finish(application, policy, trace)
+
+    def _run_instrumented(self, application: Application,
+                          policy: PowerPolicy) -> RunResult:
+        """The kernel-boundary loop with events, metrics and profiling."""
+        tel = self._telemetry
+        launches_total = tel.metrics.counter(
+            "kernel_launches_total", "kernel launches executed",
+        )
+        launch_time = tel.metrics.histogram(
+            "launch_time_seconds", "kernel launch execution time",
+        )
+        trace = RunTrace()
+        for iteration, kernel, spec in application.launches():
+            context = LaunchContext(
+                kernel_name=kernel.name, iteration=iteration, spec=spec
+            )
+            with tel.time("policy.config_for"):
+                config = policy.config_for(context)
+            with tel.time("platform.run_kernel"):
+                result = self._platform.run_kernel(spec, config)
+            with tel.time("policy.observe"):
+                policy.observe(context, result)
+            trace.append(LaunchRecord(
+                iteration=iteration, kernel_name=kernel.name, result=result
+            ))
+            launches_total.inc(kernel=kernel.name, policy=policy.name)
+            launch_time.observe(result.time, kernel=kernel.name)
+            tel.emit(KernelLaunch(
+                kernel=kernel.name,
+                iteration=iteration,
+                time_s=result.time,
+                config=result.config,
+                power_w=result.power.card,
+                energy_j=result.energy,
+            ))
+        return self._finish(application, policy, trace)
+
+    def _finish(self, application: Application, policy: PowerPolicy,
+                trace: RunTrace) -> RunResult:
         launches = [record.result for record in trace.records]
         return RunResult(
             application=application.name,

@@ -89,10 +89,38 @@ class RunTrace:
         """Launch records of one kernel, in execution order."""
         return tuple(r for r in self._records if r.kernel_name == kernel_name)
 
+    def to_dicts(self) -> List[dict]:
+        """Plain-dict launch rows (the JSONL exporter's per-launch schema).
+
+        Each row carries the launch's iteration, kernel, configuration,
+        execution time, card power and energy — the serializable subset
+        of a :class:`~repro.perf.result.KernelRunResult`.
+        """
+        rows = []
+        for record in self._records:
+            config = record.config
+            power = record.power.card
+            rows.append({
+                "iteration": record.iteration,
+                "kernel": record.kernel_name,
+                "config": {
+                    "n_cu": config.n_cu,
+                    "f_cu": config.f_cu,
+                    "f_mem": config.f_mem,
+                },
+                "time_s": record.time,
+                "power_w": power,
+                "energy_j": power * record.time,
+            })
+        return rows
+
     def _residency(self, tunable: str, key) -> ResidencyTable:
         total = self.total_time()
         if total <= 0:
-            raise AnalysisError("trace has no time accumulated")
+            raise AnalysisError(
+                f"cannot compute {tunable!r} residency: the trace has no "
+                f"time accumulated ({len(self._records)} launch records)"
+            )
         sums: Dict[float, float] = {}
         for record in self._records:
             value = key(record.config)

@@ -1,0 +1,74 @@
+"""Structured telemetry for the Harmonia runtime.
+
+Four pieces, composable through one injectable handle:
+
+* :mod:`repro.telemetry.events` — typed controller-decision events
+  (``KernelLaunch``, ``PhaseChange``, ``CGJump``, ``FGStep``, ...) with a
+  versioned JSON wire schema,
+* :mod:`repro.telemetry.metrics` — a labelled counter/gauge/histogram
+  registry (``cg_actions_total{kernel=...}``, ``launch_time_seconds``),
+* :mod:`repro.telemetry.export` — append-only JSONL sink, loader, and a
+  replay view compatible with :class:`~repro.runtime.trace.RunTrace`,
+* :mod:`repro.telemetry.profile` — wall-time profiling hooks for the
+  simulator and policy hot paths.
+
+Instrumented components accept a :class:`Telemetry` handle and default to
+:data:`NULL_TELEMETRY`, whose operations are no-ops — with telemetry
+disabled, control decisions and experiment outputs are bit-identical to
+an uninstrumented build.
+"""
+
+from repro.telemetry.events import (
+    SCHEMA_VERSION,
+    CGJump,
+    ConfigApplied,
+    EVENT_TYPES,
+    FGConverged,
+    FGRevert,
+    FGStep,
+    KernelLaunch,
+    PhaseChange,
+    TelemetryEvent,
+    event_from_record,
+)
+from repro.telemetry.export import (
+    InMemorySink,
+    JsonlSink,
+    ReplayTrace,
+    export_trace,
+    load_events,
+    replay_trace,
+)
+from repro.telemetry.handle import NULL_TELEMETRY, NullTelemetry, Telemetry, coalesce
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.profile import Profiler, SectionStat
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "TelemetryEvent",
+    "KernelLaunch",
+    "PhaseChange",
+    "CGJump",
+    "FGStep",
+    "FGRevert",
+    "FGConverged",
+    "ConfigApplied",
+    "event_from_record",
+    "JsonlSink",
+    "InMemorySink",
+    "ReplayTrace",
+    "replay_trace",
+    "load_events",
+    "export_trace",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "coalesce",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Profiler",
+    "SectionStat",
+]

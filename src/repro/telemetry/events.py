@@ -1,0 +1,223 @@
+"""Typed controller-decision events and their wire schema.
+
+Every decision the two-level controller makes — a kernel launch completing,
+a workload phase change, a coarse-grain jump, a fine-grain step or revert,
+convergence, a configuration being applied — is describable as a small
+frozen dataclass carrying the kernel name, the launch iteration, the
+triggering launch's execution time, and the decision's payload (old/new
+:class:`~repro.gpu.config.HardwareConfig`, sensitivity bins, ...).
+
+Events serialize to flat JSON records (``to_record`` / ``event_from_record``)
+tagged with the schema version, so traces written today stay loadable —
+and loudly rejected, not silently misread, once the schema moves on.
+
+Schema evolution rules (enforced by ``tools/check_event_schema.py``):
+
+* adding/removing an event type or changing its fields requires bumping
+  :data:`SCHEMA_VERSION` and recording the new event-type set in
+  :data:`SCHEMA_MANIFEST`,
+* every event type must be documented in ``docs/telemetry.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple, Type
+
+from repro.errors import TelemetryError
+from repro.gpu.config import HardwareConfig
+
+#: Version tag written into every serialized record. Bump on any change to
+#: the event-type set or to an event's fields.
+SCHEMA_VERSION = 1
+
+#: Keys of a serialized :class:`~repro.gpu.config.HardwareConfig`.
+_CONFIG_KEYS = frozenset(("n_cu", "f_cu", "f_mem"))
+
+
+def config_to_record(config: HardwareConfig) -> Dict[str, float]:
+    """Serialize a hardware configuration to a plain mapping."""
+    return {"n_cu": config.n_cu, "f_cu": config.f_cu, "f_mem": config.f_mem}
+
+
+def config_from_record(record: Mapping[str, float]) -> HardwareConfig:
+    """Rebuild a hardware configuration from its serialized mapping."""
+    return HardwareConfig(
+        n_cu=int(record["n_cu"]),
+        f_cu=float(record["f_cu"]),
+        f_mem=float(record["f_mem"]),
+    )
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base event: every event names its kernel, iteration and timing.
+
+    Attributes:
+        kernel: qualified kernel name (e.g. ``"Sort.BottomScan"``).
+        iteration: application iteration of the triggering launch.
+        time_s: execution time (s) of the triggering launch.
+    """
+
+    kernel: str
+    iteration: int
+    time_s: float
+
+    @property
+    def event_type(self) -> str:
+        """The wire name of this event (its class name)."""
+        return type(self).__name__
+
+    def to_record(self) -> Dict[str, Any]:
+        """Serialize to a JSON-compatible record (schema-version tagged)."""
+        record: Dict[str, Any] = {"v": SCHEMA_VERSION, "type": self.event_type}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, HardwareConfig):
+                value = config_to_record(value)
+            elif isinstance(value, tuple):
+                value = list(value)
+            record[field.name] = value
+        return record
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "TelemetryEvent":
+        """Rebuild an event of this type from its serialized record."""
+        kwargs: Dict[str, Any] = {}
+        for field in dataclasses.fields(cls):
+            try:
+                value = record[field.name]
+            except KeyError:
+                raise TelemetryError(
+                    f"{cls.__name__} record missing field {field.name!r}"
+                ) from None
+            if isinstance(value, Mapping) and _CONFIG_KEYS <= set(value):
+                value = config_from_record(value)
+            elif isinstance(value, list):
+                value = tuple(value)
+            kwargs[field.name] = value
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class KernelLaunch(TelemetryEvent):
+    """One kernel launch completed (the replay/residency backbone)."""
+
+    config: HardwareConfig
+    power_w: float
+    energy_j: float
+
+
+@dataclass(frozen=True)
+class PhaseChange(TelemetryEvent):
+    """The phase detector declared a new workload phase."""
+
+    #: config-invariant workload-identity vector of the new phase
+    identity: Tuple[float, ...]
+    #: ordinal of this phase within the kernel (1 = first phase)
+    phase_index: int
+
+
+@dataclass(frozen=True)
+class CGJump(TelemetryEvent):
+    """The coarse-grain block jumped all tunables (``SetCU_Freq_MemBW``)."""
+
+    old_config: HardwareConfig
+    new_config: HardwareConfig
+    compute_bin: str
+    bandwidth_bin: str
+    compute_sensitivity: float
+    bandwidth_sensitivity: float
+
+
+@dataclass(frozen=True)
+class FGStep(TelemetryEvent):
+    """The fine-grain loop moved one tunable one grid step."""
+
+    tunable: str
+    direction: int
+    old_config: HardwareConfig
+    new_config: HardwareConfig
+    compute_bin: str
+    bandwidth_bin: str
+
+
+@dataclass(frozen=True)
+class FGRevert(TelemetryEvent):
+    """A fine-grain move (or a CG jump under validation) was reverted."""
+
+    #: the reverted tunable (``__cg__`` for a wholesale CG-jump revert)
+    tunable: str
+    old_config: HardwareConfig
+    new_config: HardwareConfig
+
+
+@dataclass(frozen=True)
+class FGConverged(TelemetryEvent):
+    """The fine-grain loop converged to its best state for this phase."""
+
+    config: HardwareConfig
+
+
+@dataclass(frozen=True)
+class ConfigApplied(TelemetryEvent):
+    """The controller changed a kernel's configuration for the next launch.
+
+    ``source`` attributes the change: ``"cg"`` (coarse-grain jump),
+    ``"fg"`` (fine-grain decision) or ``"recall"`` (phase-memory restore).
+    """
+
+    old_config: HardwareConfig
+    new_config: HardwareConfig
+    source: str
+
+
+#: Wire name -> event class, the loader's dispatch table.
+EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
+    cls.__name__: cls
+    for cls in (
+        KernelLaunch,
+        PhaseChange,
+        CGJump,
+        FGStep,
+        FGRevert,
+        FGConverged,
+        ConfigApplied,
+    )
+}
+
+#: Frozen history of event-type sets per schema version. Adding an event
+#: type without bumping :data:`SCHEMA_VERSION` (and appending here) is a
+#: schema break that ``tools/check_event_schema.py`` rejects.
+SCHEMA_MANIFEST: Dict[int, Tuple[str, ...]] = {
+    1: (
+        "CGJump",
+        "ConfigApplied",
+        "FGConverged",
+        "FGRevert",
+        "FGStep",
+        "KernelLaunch",
+        "PhaseChange",
+    ),
+}
+
+
+def event_from_record(record: Mapping[str, Any]) -> TelemetryEvent:
+    """Deserialize one record, validating schema version and event type.
+
+    Raises:
+        TelemetryError: on a version mismatch, an unknown event type, or
+            a structurally invalid record.
+    """
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        raise TelemetryError(
+            f"trace record has schema version {version!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    type_name = record.get("type")
+    event_cls = EVENT_TYPES.get(type_name)
+    if event_cls is None:
+        raise TelemetryError(f"unknown telemetry event type {type_name!r}")
+    return event_cls.from_record(record)

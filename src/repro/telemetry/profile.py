@@ -1,0 +1,129 @@
+"""Wall-time profiling hooks for the simulator and policy hot paths.
+
+A :class:`Profiler` accumulates per-section wall time behind lightweight
+context managers (``with profiler.section("fg.propose"): ...``) or the
+:meth:`Profiler.profiled` decorator. The report answers "where did this
+run's wall time go" — launch model vs monitoring vs CG prediction vs FG
+search — which is the measurement substrate every perf PR needs.
+
+The null path (:data:`NULL_PROFILER`) reuses one no-op context manager so
+instrumented code pays a single attribute lookup when profiling is off.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class SectionStat:
+    """Accumulated wall time of one profiled section."""
+
+    name: str
+    count: int
+    total_s: float
+
+    @property
+    def mean_s(self) -> float:
+        """Mean wall time per entry (0 for an un-entered section)."""
+        return self.total_s / self.count if self.count else 0.0
+
+
+class _Section:
+    """One timed entry into a named section (re-entrant via new instances)."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._profiler.record(self._name, time.perf_counter() - self._start)
+
+
+class _NullSection:
+    """Shared no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+#: The shared no-op section (allocation-free disabled path).
+NULL_SECTION = _NullSection()
+
+
+class Profiler:
+    """Accumulates per-section counts and wall time."""
+
+    def __init__(self) -> None:
+        # name -> [count, total_seconds]; a plain list keeps the hot
+        # record() path to two float ops.
+        self._stats: Dict[str, List[float]] = {}
+
+    def section(self, name: str) -> _Section:
+        """A context manager timing one entry into ``name``."""
+        return _Section(self, name)
+
+    def record(self, name: str, elapsed_s: float) -> None:
+        """Fold one timed entry into the section's totals."""
+        stat = self._stats.get(name)
+        if stat is None:
+            self._stats[name] = [1, elapsed_s]
+        else:
+            stat[0] += 1
+            stat[1] += elapsed_s
+
+    def profiled(self, name: str) -> Callable:
+        """Decorator timing every call of the wrapped function."""
+        def decorate(func: Callable) -> Callable:
+            @functools.wraps(func)
+            def wrapper(*args, **kwargs):
+                start = time.perf_counter()
+                try:
+                    return func(*args, **kwargs)
+                finally:
+                    self.record(name, time.perf_counter() - start)
+            return wrapper
+        return decorate
+
+    def stats(self) -> Dict[str, SectionStat]:
+        """All sections' accumulated statistics."""
+        return {
+            name: SectionStat(name=name, count=int(count), total_s=total)
+            for name, (count, total) in self._stats.items()
+        }
+
+    def reset(self) -> None:
+        """Forget all sections."""
+        self._stats.clear()
+
+    def report(self) -> str:
+        """Per-section wall-time breakdown, largest share first."""
+        stats = sorted(self.stats().values(),
+                       key=lambda s: s.total_s, reverse=True)
+        if not stats:
+            return "profiler: no sections recorded"
+        grand_total = sum(s.total_s for s in stats)
+        lines = [f"{'section':<24s} {'calls':>8s} {'total s':>10s} "
+                 f"{'mean us':>10s} {'share':>7s}"]
+        for stat in stats:
+            share = stat.total_s / grand_total if grand_total > 0 else 0.0
+            lines.append(
+                f"{stat.name:<24s} {stat.count:>8d} {stat.total_s:>10.4f} "
+                f"{stat.mean_s * 1e6:>10.1f} {share:>6.1%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Trace summarization: the ``repro telemetry-report`` backend.
+
+Turns a loaded event stream into the views the paper's evaluation builds
+by hand: the Figure 18 CG/FG action mix per kernel, the phase-change
+timeline, the Figure 15/16 residency tables (via the replayed trace) and
+the top kernels by run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.telemetry.events import (
+    CGJump,
+    ConfigApplied,
+    FGConverged,
+    FGRevert,
+    FGStep,
+    KernelLaunch,
+    PhaseChange,
+    TelemetryEvent,
+)
+from repro.telemetry.export import ReplayTrace
+from repro.units import hz_to_mhz
+
+
+@dataclass
+class KernelActionMix:
+    """Per-kernel controller-action tallies (the Figure 18 split)."""
+
+    kernel: str
+    launches: int = 0
+    time_s: float = 0.0
+    phase_changes: int = 0
+    cg_jumps: int = 0
+    fg_steps: int = 0
+    fg_reverts: int = 0
+    fg_converged: int = 0
+    recalls: int = 0
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Everything the telemetry report renders."""
+
+    events: int
+    launches: int
+    total_time_s: float
+    mix: Tuple[KernelActionMix, ...]
+    #: (iteration, kernel, phase_index) per PhaseChange, in stream order
+    phase_timeline: Tuple[Tuple[int, str, int], ...]
+    trace: ReplayTrace
+
+    def mix_for(self, kernel: str) -> KernelActionMix:
+        """The action mix of one kernel (KeyError if absent)."""
+        for row in self.mix:
+            if row.kernel == kernel:
+                return row
+        raise KeyError(kernel)
+
+    def totals(self) -> KernelActionMix:
+        """Action tallies summed over all kernels."""
+        total = KernelActionMix(kernel="TOTAL")
+        for row in self.mix:
+            total.launches += row.launches
+            total.time_s += row.time_s
+            total.phase_changes += row.phase_changes
+            total.cg_jumps += row.cg_jumps
+            total.fg_steps += row.fg_steps
+            total.fg_reverts += row.fg_reverts
+            total.fg_converged += row.fg_converged
+            total.recalls += row.recalls
+        return total
+
+
+def summarize(events: Sequence[TelemetryEvent]) -> TraceSummary:
+    """Fold an event stream into a :class:`TraceSummary`."""
+    mix: Dict[str, KernelActionMix] = {}
+    timeline: List[Tuple[int, str, int]] = []
+
+    def row(kernel: str) -> KernelActionMix:
+        if kernel not in mix:
+            mix[kernel] = KernelActionMix(kernel=kernel)
+        return mix[kernel]
+
+    for event in events:
+        if isinstance(event, KernelLaunch):
+            entry = row(event.kernel)
+            entry.launches += 1
+            entry.time_s += event.time_s
+        elif isinstance(event, PhaseChange):
+            row(event.kernel).phase_changes += 1
+            timeline.append((event.iteration, event.kernel,
+                             event.phase_index))
+        elif isinstance(event, CGJump):
+            row(event.kernel).cg_jumps += 1
+        elif isinstance(event, FGStep):
+            row(event.kernel).fg_steps += 1
+        elif isinstance(event, FGRevert):
+            row(event.kernel).fg_reverts += 1
+        elif isinstance(event, FGConverged):
+            row(event.kernel).fg_converged += 1
+        elif isinstance(event, ConfigApplied):
+            if event.source == "recall":
+                row(event.kernel).recalls += 1
+
+    trace = ReplayTrace.from_events(events)
+    ordered = tuple(sorted(mix.values(), key=lambda r: r.kernel))
+    return TraceSummary(
+        events=len(events),
+        launches=len(trace),
+        total_time_s=sum(r.time_s for r in ordered),
+        mix=ordered,
+        phase_timeline=tuple(timeline),
+        trace=trace,
+    )
+
+
+def _format_mix(summary: TraceSummary) -> str:
+    rows = []
+    for entry in list(summary.mix) + [summary.totals()]:
+        rows.append((
+            entry.kernel, str(entry.launches), str(entry.phase_changes),
+            str(entry.cg_jumps), str(entry.fg_steps), str(entry.fg_reverts),
+            str(entry.fg_converged), str(entry.recalls),
+        ))
+    return format_table(
+        headers=("kernel", "launches", "phases", "CG jumps", "FG steps",
+                 "FG reverts", "converged", "recalls"),
+        rows=rows,
+        title="Controller action mix per kernel (the Figure 18 CG/FG split)",
+    )
+
+
+def _format_timeline(summary: TraceSummary, limit: int = 20) -> str:
+    if not summary.phase_timeline:
+        return "Phase-change timeline: (no phase changes recorded)"
+    rows = [(str(iteration), kernel, str(index))
+            for iteration, kernel, index in summary.phase_timeline[:limit]]
+    suffix = ""
+    if len(summary.phase_timeline) > limit:
+        suffix = (f"\n  ... {len(summary.phase_timeline) - limit} further "
+                  "phase changes elided")
+    return format_table(
+        headers=("iteration", "kernel", "phase #"),
+        rows=rows,
+        title="Phase-change timeline",
+    ) + suffix
+
+
+def _format_residency(summary: TraceSummary) -> str:
+    if len(summary.trace) == 0:
+        return "Residency: (no KernelLaunch events in trace)"
+    sections = []
+    for label, table, fmt in (
+        ("memory bus", summary.trace.f_mem_residency(),
+         lambda v: f"{hz_to_mhz(v):.0f} MHz"),
+        ("compute frequency", summary.trace.f_cu_residency(),
+         lambda v: f"{hz_to_mhz(v):.0f} MHz"),
+        ("active CUs", summary.trace.cu_residency(),
+         lambda v: f"{v:.0f} CU"),
+    ):
+        rows = [(fmt(value), f"{fraction:.1%}")
+                for value, fraction in sorted(table.fractions.items())]
+        sections.append(format_table(
+            headers=(label, "residency"),
+            rows=rows,
+            title=f"Residency: {label} (Figures 15/16)",
+        ))
+    return "\n\n".join(sections)
+
+
+def _format_top_kernels(summary: TraceSummary, limit: int = 8) -> str:
+    by_time = sorted(summary.mix, key=lambda r: r.time_s, reverse=True)
+    total = summary.total_time_s or 1.0
+    rows = [
+        (entry.kernel, f"{entry.time_s * 1e3:.2f}",
+         f"{entry.time_s / total:.1%}", str(entry.launches))
+        for entry in by_time[:limit]
+    ]
+    return format_table(
+        headers=("kernel", "time ms", "share", "launches"),
+        rows=rows,
+        title="Top kernels by run time",
+    )
+
+
+def format_report(summary: TraceSummary) -> str:
+    """Render the full telemetry report."""
+    header = (f"telemetry trace: {summary.events} events, "
+              f"{summary.launches} launches, "
+              f"{summary.total_time_s * 1e3:.2f} ms total run time")
+    return "\n\n".join([
+        header,
+        _format_mix(summary),
+        _format_timeline(summary),
+        _format_residency(summary),
+        _format_top_kernels(summary),
+    ])

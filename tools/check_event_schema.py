@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Lint the telemetry event schema against its manifest and docs.
+
+Fails (exit 1) when:
+
+* the current ``SCHEMA_VERSION`` has no entry in ``SCHEMA_MANIFEST``;
+* the registered event types (``EVENT_TYPES``) differ from the manifest
+  entry for the current version — i.e. someone added/removed an event
+  type without bumping the version and recording the new set;
+* a historical manifest entry is unsorted or duplicated (the manifest is
+  append-only and must stay canonical);
+* an event type is missing from the ``docs/telemetry.md`` schema table,
+  or the docs mention an event type the schema no longer has.
+
+Run from the repository root:  python tools/check_event_schema.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.telemetry.events import (  # noqa: E402
+    EVENT_TYPES,
+    SCHEMA_MANIFEST,
+    SCHEMA_VERSION,
+)
+
+DOCS = REPO_ROOT / "docs" / "telemetry.md"
+
+
+def check() -> list:
+    errors = []
+    current = tuple(sorted(EVENT_TYPES))
+
+    if SCHEMA_VERSION not in SCHEMA_MANIFEST:
+        errors.append(
+            f"SCHEMA_VERSION {SCHEMA_VERSION} has no SCHEMA_MANIFEST entry; "
+            "append the current event-type set for it"
+        )
+    else:
+        recorded = SCHEMA_MANIFEST[SCHEMA_VERSION]
+        if recorded != current:
+            added = set(current) - set(recorded)
+            removed = set(recorded) - set(current)
+            detail = []
+            if added:
+                detail.append(f"added {sorted(added)}")
+            if removed:
+                detail.append(f"removed {sorted(removed)}")
+            errors.append(
+                f"event types changed ({', '.join(detail)}) but "
+                f"SCHEMA_VERSION is still {SCHEMA_VERSION}; bump it and "
+                "record the new set in SCHEMA_MANIFEST"
+            )
+
+    for version, names in SCHEMA_MANIFEST.items():
+        if tuple(sorted(set(names))) != names:
+            errors.append(
+                f"SCHEMA_MANIFEST[{version}] must be sorted and "
+                f"duplicate-free, got {names}"
+            )
+
+    if not DOCS.exists():
+        errors.append(f"{DOCS} is missing; every event type must be documented")
+        return errors
+
+    text = DOCS.read_text()
+    # Documented rows look like:  | `KernelLaunch` | ... | — restrict to
+    # event-type names (the doc's other tables list snake_case metrics).
+    known = {name for names in SCHEMA_MANIFEST.values() for name in names}
+    known |= set(current)
+    documented = set(re.findall(r"^\|\s*`(\w+)`\s*\|", text, re.MULTILINE))
+    documented &= known
+    for name in current:
+        if name not in documented:
+            errors.append(
+                f"event type {name} is not documented in docs/telemetry.md "
+                "(add a row to the schema table)"
+            )
+    for name in sorted(documented - set(current)):
+        errors.append(
+            f"docs/telemetry.md documents {name}, which is not a "
+            "registered event type"
+        )
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    if errors:
+        for error in errors:
+            print(f"check_event_schema: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"check_event_schema: OK (schema v{SCHEMA_VERSION}, "
+        f"{len(EVENT_TYPES)} event types, docs in sync)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ for app in apps:
           f"perf={(base.metrics.time/run.metrics.time-1):+.1%} pwr={1-run.metrics.avg_power/base.metrics.avg_power:+.1%}")
     for k in app.kernels:
         recs = run.trace.records_for_kernel(k.name)
-        ctl = hm.control_state(k.name)
+        stats = hm.stats(k.name)
         # online snapshot at first & last obs
         snap0 = hm._cg.snapshot(recs[0].result.counters)
         snapN = hm._cg.snapshot(recs[-1].result.counters)
@@ -32,4 +32,4 @@ for app in apps:
         top = sorted(cfgs.items(), key=lambda kv: -kv[1])[:3]
         tops = ", ".join(f"{c}:{t/tot:.0%}" for c, t in top)
         print(f"  {k.name:28s} bins0=({snap0.compute_bin.value},{snap0.bandwidth_bin.value}) "
-          f"s=({snap0.compute:.2f},{snap0.bandwidth:.2f}) cg={ctl.cg_actions} fg={ctl.fg_actions} ph={ctl.phase_changes} | {tops}")
+          f"s=({snap0.compute:.2f},{snap0.bandwidth:.2f}) cg={stats.cg_actions} fg={stats.fg_actions} ph={stats.phase_changes} | {tops}")
