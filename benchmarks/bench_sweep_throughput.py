@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Sweep-engine throughput benchmark: scalar vs batch vs batch+cache.
+
+Measures how fast the platform evaluates a kernel across its configuration
+grid along the three paths this repro offers:
+
+* **scalar** — one ``run_kernel`` call per configuration (the original
+  per-launch path),
+* **batch**  — one vectorized ``run_kernel_batch`` call for the whole grid,
+* **batch+cache** — ``grid_sweep`` hitting the shared sweep cache (the
+  steady-state cost every consumer after the first pays).
+
+The benchmark also *verifies* the batch path against the scalar path at a
+1e-9 relative tolerance on time, energy and card power (they are bitwise
+identical by construction; the tolerance is the acceptance contract), and
+fails with a nonzero exit if equivalence or the speedup floor is violated.
+
+Results are written as machine-readable JSON (``BENCH_sweep.json``)::
+
+    python benchmarks/bench_sweep_throughput.py                 # full grid
+    python benchmarks/bench_sweep_throughput.py --stride 8 \\
+        --kernels MaxFlops.MaxFlops --min-speedup 5 --out /tmp/b.json
+
+CI runs the reduced-grid form as a smoke test; the committed
+``BENCH_sweep.json`` is a full-grid run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.platform.hd7970 import make_hd7970_platform
+from repro.platform.sweepcache import SweepCache
+from repro.workloads.registry import all_kernels
+
+DEFAULT_KERNELS = (
+    "MaxFlops.MaxFlops",
+    "DeviceMemory.DeviceMemory",
+    "Sort.BottomScan",
+    "CoMD.AdvanceVelocity",
+    "BPT.FindRange",
+)
+
+
+def _rel_err(a: float, b: float) -> float:
+    return abs(a - b) / abs(a) if a != 0 else abs(b)
+
+
+def bench_kernel(platform, spec, configs, repeats: int) -> Dict:
+    """Time the three paths for one kernel; verify batch == scalar."""
+    n = len(configs)
+
+    # Scalar path: one model round trip per configuration.
+    t0 = time.perf_counter()
+    scalar_results = [platform.run_kernel(spec, c) for c in configs]
+    t_scalar = time.perf_counter() - t0
+
+    # Batch path: one vectorized evaluation (best of `repeats`).
+    t_batch = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        batch = platform.run_kernel_batch(spec, configs)
+        t_batch = min(t_batch, time.perf_counter() - t0)
+
+    # Batch + cache: steady-state lookup from a warm sweep cache. The
+    # cache stores full-grid sweeps, so this leg always times the full
+    # grid (grid_sweep has no strided form) — configs/sec still uses n
+    # of the *cached* grid.
+    cache = SweepCache()
+    platform.grid_sweep(spec, cache=cache)  # warm
+    t_cached = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        platform.grid_sweep(spec, cache=cache)
+        t_cached = min(t_cached, time.perf_counter() - t0)
+    n_cached = len(platform.config_space)
+
+    # Equivalence check: batch vs scalar, element by element.
+    worst = 0.0
+    for i, scalar in enumerate(scalar_results):
+        worst = max(
+            worst,
+            _rel_err(scalar.time, float(batch.time[i])),
+            _rel_err(scalar.energy, float(batch.energy[i])),
+            _rel_err(scalar.power.card, float(batch.card_power[i])),
+        )
+        if scalar.bandwidth_limit != batch.bandwidth_limit[i]:
+            worst = float("inf")
+
+    return {
+        "kernel": spec.name,
+        "configs": n,
+        "scalar_s": t_scalar,
+        "batch_s": t_batch,
+        "cached_s": t_cached,
+        "scalar_configs_per_s": n / t_scalar,
+        "batch_configs_per_s": n / t_batch,
+        "cached_configs_per_s": n_cached / t_cached,
+        "batch_speedup": t_scalar / t_batch,
+        "cached_speedup": (t_scalar / n) / (t_cached / n_cached),
+        "max_rel_divergence": worst,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernels", nargs="*", default=list(DEFAULT_KERNELS),
+                        help="qualified kernel names (default: 5 "
+                             "representative kernels)")
+    parser.add_argument("--stride", type=int, default=1, metavar="N",
+                        help="evaluate every Nth grid configuration "
+                             "(reduced grid for CI smoke; default: full)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats for the fast paths (best-of)")
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="fail if the geomean batch speedup over the "
+                             "scalar path falls below this floor")
+    parser.add_argument("--tolerance", type=float, default=1e-9,
+                        help="max allowed batch-vs-scalar relative "
+                             "divergence on time/energy/power")
+    parser.add_argument("--out", default="BENCH_sweep.json",
+                        help="output JSON path (default: BENCH_sweep.json)")
+    args = parser.parse_args(argv)
+
+    if args.stride < 1:
+        parser.error("--stride must be >= 1")
+    platform = make_hd7970_platform()
+    configs = tuple(platform.config_space)[:: args.stride]
+
+    by_name = {k.base.name: k.base for k in all_kernels()}
+    try:
+        specs = [by_name[name] for name in args.kernels]
+    except KeyError as err:
+        parser.error(f"unknown kernel {err.args[0]!r}; "
+                     f"known: {', '.join(sorted(by_name))}")
+
+    rows: List[Dict] = []
+    for spec in specs:
+        row = bench_kernel(platform, spec, configs, args.repeats)
+        rows.append(row)
+        print(f"{row['kernel']:28s} {row['configs']:4d} configs  "
+              f"scalar {row['scalar_configs_per_s']:9.0f}/s  "
+              f"batch {row['batch_configs_per_s']:11.0f}/s "
+              f"({row['batch_speedup']:6.1f}x)  "
+              f"cached {row['cached_configs_per_s']:13.0f}/s  "
+              f"div {row['max_rel_divergence']:.2e}")
+
+    def geomean(values):
+        product = 1.0
+        for v in values:
+            product *= v
+        return product ** (1.0 / len(values))
+
+    summary = {
+        "grid_points": len(configs),
+        "stride": args.stride,
+        "geomean_batch_speedup": geomean([r["batch_speedup"] for r in rows]),
+        "geomean_cached_speedup": geomean([r["cached_speedup"] for r in rows]),
+        "max_rel_divergence": max(r["max_rel_divergence"] for r in rows),
+        "min_speedup_floor": args.min_speedup,
+        "tolerance": args.tolerance,
+        "kernels": rows,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    print(f"\ngeomean batch speedup {summary['geomean_batch_speedup']:.1f}x, "
+          f"cached {summary['geomean_cached_speedup']:.1f}x, "
+          f"max divergence {summary['max_rel_divergence']:.2e} "
+          f"-> {args.out}")
+
+    if summary["max_rel_divergence"] > args.tolerance:
+        print(f"FAIL: batch diverges from scalar beyond {args.tolerance}",
+              file=sys.stderr)
+        return 1
+    if summary["geomean_batch_speedup"] < args.min_speedup:
+        print(f"FAIL: geomean batch speedup "
+              f"{summary['geomean_batch_speedup']:.1f}x below the "
+              f"{args.min_speedup}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,15 +9,20 @@ geometric means ("Geomean 2 ... excludes those two stress benchmarks").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import AnalysisError
 from repro.core.policy import PowerPolicy
 from repro.platform.hd7970 import HardwarePlatform
 from repro.runtime.metrics import RunMetrics, geomean, improvement
+from repro.runtime.parallel import fan_out
 from repro.runtime.simulator import ApplicationRunner, RunResult
 from repro.workloads.application import Application
 from repro.workloads.registry import STRESS_BENCHMARKS
+
+#: A zero-argument constructor of a fresh policy instance, used to give
+#: each parallel worker its own stateful policy.
+PolicyFactory = Callable[[], PowerPolicy]
 
 
 @dataclass(frozen=True)
@@ -120,12 +125,13 @@ class EvaluationHarness:
 
     def __init__(self, platform: HardwarePlatform,
                  baseline_policy: PowerPolicy):
+        self._platform = platform
         self._runner = ApplicationRunner(platform)
         self._baseline = baseline_policy
 
     def evaluate(self, applications: Sequence[Application],
                  policies: Sequence[PowerPolicy]) -> EvaluationSummary:
-        """Run baseline + candidates over all applications.
+        """Run baseline + candidates over all applications, serially.
 
         Args:
             applications: workloads to evaluate.
@@ -148,4 +154,55 @@ class EvaluationHarness:
                     candidate=run.metrics,
                 ))
             runs[application.name] = per_app
+        return EvaluationSummary(comparisons=tuple(comparisons), runs=runs)
+
+    def evaluate_parallel(
+        self,
+        applications: Sequence[Application],
+        baseline_factory: PolicyFactory,
+        policy_factories: Sequence[PolicyFactory],
+        jobs: int = 1,
+    ) -> EvaluationSummary:
+        """Run the matrix with applications fanned out over threads.
+
+        Policies carry per-run history (:class:`~repro.core.policy.
+        HistoryMixin`), so sharing one instance across concurrent
+        applications would race. Instead each application gets fresh
+        instances from the factories — equivalent to the serial harness,
+        which resets every policy between applications — and results are
+        assembled in application order, so the summary is identical to
+        :meth:`evaluate` on a deterministic platform.
+
+        Args:
+            applications: workloads to evaluate.
+            baseline_factory: constructor of fresh baseline policies.
+            policy_factories: constructors of fresh candidate policies.
+            jobs: maximum concurrent application evaluations.
+        """
+        if not applications:
+            raise AnalysisError("no applications to evaluate")
+
+        def evaluate_app(application: Application):
+            runner = ApplicationRunner(self._platform)
+            base_run = runner.run(application, baseline_factory())
+            per_app: Dict[str, RunResult] = {self._baseline.name: base_run}
+            comps: List[ApplicationComparison] = []
+            for factory in policy_factories:
+                policy = factory()
+                run = runner.run(application, policy)
+                per_app[policy.name] = run
+                comps.append(ApplicationComparison(
+                    application=application.name,
+                    policy=policy.name,
+                    baseline=base_run.metrics,
+                    candidate=run.metrics,
+                ))
+            return per_app, comps
+
+        outcomes = fan_out(evaluate_app, applications, jobs=jobs)
+        comparisons: List[ApplicationComparison] = []
+        runs: Dict[str, Dict[str, RunResult]] = {}
+        for application, (per_app, comps) in zip(applications, outcomes):
+            runs[application.name] = per_app
+            comparisons.extend(comps)
         return EvaluationSummary(comparisons=tuple(comparisons), runs=runs)

@@ -61,15 +61,26 @@ class SweepPoint:
 
 
 class ConfigSweep:
-    """A kernel's full design-space sweep."""
+    """A kernel's full design-space sweep.
+
+    On a deterministic platform the grid is evaluated through the batched
+    sweep engine (:meth:`~repro.platform.hd7970.HardwarePlatform.
+    grid_sweep`) and shared across experiments via the process-wide sweep
+    cache. With measurement noise enabled, each configuration is launched
+    individually so every point draws its own noise sample — a noisy
+    surface is a fresh measurement, never a cache hit.
+    """
 
     def __init__(self, platform: HardwarePlatform, spec: KernelSpec):
         self._platform = platform
         self._spec = spec
         self._points: List[SweepPoint] = []
         space = platform.config_space
-        for config in space:
-            result = platform.run_kernel(spec, config)
+        if platform.is_deterministic:
+            results = platform.grid_sweep(spec).to_results()
+        else:
+            results = [platform.run_kernel(spec, config) for config in space]
+        for config, result in zip(space, results):
             self._points.append(SweepPoint(
                 config=config,
                 result=result,

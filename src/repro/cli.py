@@ -177,7 +177,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     """Print the Figures 10-13 headline evaluation."""
     from repro.experiments import fig10_13_evaluation
 
-    context = ExperimentContext()
+    context = ExperimentContext(jobs=args.jobs)
     result = fig10_13_evaluation.run(context)
     print(fig10_13_evaluation.format_report(result))
     return 0
@@ -216,32 +216,39 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Design-space summary for one kernel."""
+    """Design-space summary for one or more kernels."""
+    from repro.runtime.parallel import fan_out
+
     context = ExperimentContext()
-    try:
-        spec = get_kernel(args.kernel).base
-    except Exception:
-        print(f"unknown kernel {args.kernel!r}; try: python -m repro list",
-              file=sys.stderr)
-        return 2
-    sweep = ConfigSweep(context.platform, spec)
-    best_perf = sweep.optimum_performance()
-    rows = []
-    for target, point in (("min energy", sweep.optimum_energy()),
-                          ("min ED2", sweep.optimum_ed2()),
-                          ("max perf", best_perf)):
-        rows.append((
-            target, point.config.describe(),
-            f"{point.performance / best_perf.performance:.2f}",
-            f"{point.energy / best_perf.energy:.2f}",
-            f"{point.card_power:.0f}",
+    specs = []
+    for name in args.kernels:
+        try:
+            specs.append(get_kernel(name).base)
+        except Exception:
+            print(f"unknown kernel {name!r}; try: python -m repro list",
+                  file=sys.stderr)
+            return 2
+
+    sweeps = fan_out(lambda spec: ConfigSweep(context.platform, spec),
+                     specs, jobs=args.jobs)
+    for spec, sweep in zip(specs, sweeps):
+        best_perf = sweep.optimum_performance()
+        rows = []
+        for target, point in (("min energy", sweep.optimum_energy()),
+                              ("min ED2", sweep.optimum_ed2()),
+                              ("max perf", best_perf)):
+            rows.append((
+                target, point.config.describe(),
+                f"{point.performance / best_perf.performance:.2f}",
+                f"{point.energy / best_perf.energy:.2f}",
+                f"{point.card_power:.0f}",
+            ))
+        print(format_table(
+            headers=("target", "configuration", "perf", "energy", "power W"),
+            rows=rows,
+            title=f"{spec.name}: metric-optimal configurations over "
+                  f"{len(sweep)} grid points",
         ))
-    print(format_table(
-        headers=("target", "configuration", "perf", "energy", "power W"),
-        rows=rows,
-        title=f"{spec.name}: metric-optimal configurations over "
-              f"{len(sweep)} grid points",
-    ))
     return 0
 
 
@@ -253,7 +260,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
     out_dir = pathlib.Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
-    context = ExperimentContext()
+    context = ExperimentContext(jobs=args.jobs)
 
     # (report name, module, runner attr, formatter attr or callable)
     from repro.experiments import fig04_fig05_power_ranges as f45
@@ -346,15 +353,21 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("trace", help="path to a --trace JSONL file")
     report_p.set_defaults(func=cmd_telemetry_report)
 
-    sub.add_parser("evaluate", help="the Figures 10-13 headline") \
-        .set_defaults(func=cmd_evaluate)
+    eval_p = sub.add_parser("evaluate", help="the Figures 10-13 headline")
+    eval_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="evaluate applications on up to N threads "
+                             "(results are identical for any N)")
+    eval_p.set_defaults(func=cmd_evaluate)
 
     fig_p = sub.add_parser("figure", help="regenerate one table/figure")
     fig_p.add_argument("name", help="e.g. fig10, table1, ext-thermal")
     fig_p.set_defaults(func=cmd_figure)
 
-    sweep_p = sub.add_parser("sweep", help="design-space summary of a kernel")
-    sweep_p.add_argument("kernel", help="qualified name, e.g. Sort.BottomScan")
+    sweep_p = sub.add_parser("sweep", help="design-space summary of kernels")
+    sweep_p.add_argument("kernels", nargs="+", metavar="kernel",
+                         help="qualified name(s), e.g. Sort.BottomScan")
+    sweep_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="sweep kernels on up to N threads")
     sweep_p.set_defaults(func=cmd_sweep)
 
     repro_p = sub.add_parser(
@@ -364,6 +377,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output directory (default: ./reports)")
     repro_p.add_argument("--ablations", action="store_true",
                          help="also run the six ablation studies")
+    repro_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="fan training and evaluation out over up to "
+                              "N threads (reports are identical for any N)")
     repro_p.set_defaults(func=cmd_reproduce)
 
     return parser

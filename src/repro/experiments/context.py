@@ -24,11 +24,27 @@ from repro.workloads.registry import all_applications
 class ExperimentContext:
     """Lazily-built shared stack for all paper experiments."""
 
-    def __init__(self, platform: Optional[HardwarePlatform] = None):
+    def __init__(self, platform: Optional[HardwarePlatform] = None,
+                 jobs: int = 1):
+        """
+        Args:
+            platform: the test bed; defaults to a deterministic HD7970.
+            jobs: thread fan-out for the expensive stages (training-set
+                construction and the evaluation matrix). Results are
+                independent of the job count; 1 keeps everything serial.
+        """
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self._platform = platform or make_hd7970_platform()
+        self._jobs = jobs
         self._applications: Optional[List[Application]] = None
         self._training: Optional[TrainingReport] = None
         self._summary: Optional[EvaluationSummary] = None
+
+    @property
+    def jobs(self) -> int:
+        """Thread fan-out used by the expensive stages."""
+        return self._jobs
 
     @property
     def platform(self) -> HardwarePlatform:
@@ -53,7 +69,9 @@ class ExperimentContext:
     def training(self) -> TrainingReport:
         """The Section 4 predictor-training pipeline output (cached)."""
         if self._training is None:
-            self._training = train_predictors(self._platform, self.applications)
+            self._training = train_predictors(
+                self._platform, self.applications, jobs=self._jobs
+            )
         return self._training
 
     # --- policies -----------------------------------------------------------
@@ -97,15 +115,31 @@ class ExperimentContext:
         """Baseline vs CG vs Harmonia vs oracle vs DVFS-only, cached."""
         if self._summary is None:
             harness = EvaluationHarness(self._platform, self.baseline_policy())
-            self._summary = harness.evaluate(
-                self.applications,
-                [
-                    self.cg_only_policy(),
-                    self.harmonia_policy(),
-                    self.oracle_policy(),
-                    self.dvfs_only_policy(),
-                ],
-            )
+            if self._jobs > 1:
+                # Train before fanning out: the policy factories run inside
+                # worker threads and must all see the one shared report.
+                _ = self.training
+                self._summary = harness.evaluate_parallel(
+                    self.applications,
+                    baseline_factory=self.baseline_policy,
+                    policy_factories=[
+                        self.cg_only_policy,
+                        self.harmonia_policy,
+                        self.oracle_policy,
+                        self.dvfs_only_policy,
+                    ],
+                    jobs=self._jobs,
+                )
+            else:
+                self._summary = harness.evaluate(
+                    self.applications,
+                    [
+                        self.cg_only_policy(),
+                        self.harmonia_policy(),
+                        self.oracle_policy(),
+                        self.dvfs_only_policy(),
+                    ],
+                )
         return self._summary
 
 

@@ -20,6 +20,8 @@ import bisect
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.units import GHZ, MHZ
 
@@ -106,6 +108,26 @@ class GpuDvfsTable:
         v_lo, v_hi = volts[idx - 1], volts[idx]
         frac = (frequency - f_lo) / (f_hi - f_lo)
         return v_lo + frac * (v_hi - v_lo)
+
+    def voltage_at_many(self, frequencies: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`voltage_at` over an array of frequencies (Hz).
+
+        The arithmetic mirrors the scalar path operation for operation so
+        batched power evaluation agrees with per-launch evaluation.
+        """
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        if np.any(frequencies <= 0):
+            raise ConfigurationError("frequency must be positive")
+        freqs = np.array([s.frequency for s in self.states])
+        volts = np.array([s.voltage for s in self.states])
+        idx = np.clip(np.searchsorted(freqs, frequencies, side="right"),
+                      1, len(freqs) - 1)
+        f_lo, f_hi = freqs[idx - 1], freqs[idx]
+        v_lo, v_hi = volts[idx - 1], volts[idx]
+        frac = (frequencies - f_lo) / (f_hi - f_lo)
+        voltage = v_lo + frac * (v_hi - v_lo)
+        voltage = np.where(frequencies <= freqs[0], volts[0], voltage)
+        return np.where(frequencies >= freqs[-1], volts[-1], voltage)
 
 
 #: Paper Table 1 plus the Section 2.3 boost state.

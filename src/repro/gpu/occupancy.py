@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import KernelSpecError
 from repro.gpu.architecture import GpuArchitecture
@@ -74,6 +75,10 @@ def compute_occupancy(
 ) -> OccupancyResult:
     """Compute the wavefront residency of a kernel on ``arch``.
 
+    Occupancy depends only on the architecture and the kernel's resource
+    requests — never on the (n_cu, f_cu, f_mem) operating point — so the
+    result is memoized: a 450-point grid sweep computes it exactly once.
+
     Args:
         arch: the GPU machine description.
         vgprs_per_workitem: vector registers allocated per workitem.
@@ -88,6 +93,20 @@ def compute_occupancy(
         KernelSpecError: if a resource request exceeds the physical file or
             a size is non-positive where it must be positive.
     """
+    return _compute_occupancy_cached(
+        arch, vgprs_per_workitem, sgprs_per_wave,
+        lds_bytes_per_workgroup, workgroup_size,
+    )
+
+
+@lru_cache(maxsize=4096)
+def _compute_occupancy_cached(
+    arch: GpuArchitecture,
+    vgprs_per_workitem: int,
+    sgprs_per_wave: int,
+    lds_bytes_per_workgroup: int,
+    workgroup_size: int,
+) -> OccupancyResult:
     if workgroup_size <= 0:
         raise KernelSpecError("workgroup_size must be positive")
     if vgprs_per_workitem <= 0:

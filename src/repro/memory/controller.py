@@ -23,6 +23,9 @@ attribute which limit binds.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
 
 from repro.errors import CalibrationError
 from repro.gpu.architecture import GpuArchitecture
@@ -107,3 +110,46 @@ class MemoryControllerModel:
             efficiency_limited=efficiency_limited,
             mlp_limited=mlp_limited,
         )
+
+    def achievable_bandwidth_many(
+        self,
+        f_mem: np.ndarray,
+        n_cu: np.ndarray,
+        waves_per_simd: int,
+        outstanding_per_wave: float,
+        access_efficiency: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`achievable_bandwidth` over config arrays.
+
+        Args:
+            f_mem: memory bus frequencies (Hz), one per configuration.
+            n_cu: active compute units, one per configuration.
+            waves_per_simd: resident wavefronts per SIMD (config-invariant).
+            outstanding_per_wave: kernel MLP (config-invariant).
+            access_efficiency: controller scheduling efficiency in (0, 1].
+
+        Returns:
+            ``(peak, efficiency_limited, mlp_limited)`` arrays (B/s). The
+            arithmetic mirrors the scalar path operation for operation so
+            batched sweeps agree with per-launch evaluation.
+        """
+        if not 0 < access_efficiency <= 1:
+            raise CalibrationError("access_efficiency must be in (0, 1]")
+        if outstanding_per_wave <= 0:
+            raise CalibrationError("outstanding_per_wave must be positive")
+        if waves_per_simd <= 0:
+            raise CalibrationError("waves_per_simd must be positive")
+
+        # Equation 2, as in GpuArchitecture.peak_memory_bandwidth.
+        per_mc_bytes = self.arch.bus_width_bits_per_mc / 8.0
+        peak = (f_mem * per_mc_bytes * self.arch.memory_controllers
+                * self.arch.gddr5_transfer_rate)
+        efficiency_limited = peak * access_efficiency
+
+        waves_per_cu = waves_per_simd * self.arch.simds_per_cu
+        outstanding_bytes = (
+            n_cu * waves_per_cu * outstanding_per_wave * self.timing.burst_bytes
+        )
+        latency = self.timing.fixed_latency + self.timing.bus_cycles / f_mem
+        mlp_limited = outstanding_bytes / latency
+        return peak, efficiency_limited, mlp_limited

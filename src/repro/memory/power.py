@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import CalibrationError
 
 
@@ -182,3 +184,55 @@ class MemoryPowerModel:
     def total_power(self, f_mem: float, achieved_bandwidth: float) -> float:
         """Total memory-subsystem power (W); see :meth:`breakdown`."""
         return self.breakdown(f_mem, achieved_bandwidth).total
+
+    # --- vectorized path ------------------------------------------------------
+
+    def _voltage_factor_many(self, ratio: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_voltage_factor`, mirroring the scalar math."""
+        if not self.voltage_scaling:
+            return np.ones_like(ratio)
+        f_mem = ratio * self.f_mem_max
+        clamped = np.maximum(0.0, np.minimum(1.0, f_mem / self.f_mem_max))
+        low_ratio = 0.345  # 475/1375: the lowest supported bus frequency
+        span = max(1e-9, 1.0 - low_ratio)
+        frac = np.maximum(0.0, (clamped - low_ratio) / span)
+        voltage = self.bus_voltage_min + frac * (
+            self.bus_voltage_max - self.bus_voltage_min
+        )
+        return (voltage / self.bus_voltage_max) ** 2
+
+    def total_power_many(self, f_mem: np.ndarray,
+                         achieved_bandwidth: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`total_power` over arrays of operating points.
+
+        Every arithmetic step mirrors :meth:`breakdown` operation for
+        operation so a batched grid sweep agrees with per-launch sampling.
+
+        Raises:
+            CalibrationError: if any operating point is non-physical.
+        """
+        f_mem = np.asarray(f_mem, dtype=np.float64)
+        achieved_bandwidth = np.asarray(achieved_bandwidth, dtype=np.float64)
+        if np.any(f_mem <= 0) or np.any(f_mem > self.f_mem_max * 1.001):
+            raise CalibrationError(
+                f"bus frequency outside (0, {self.f_mem_max:.3e}]"
+            )
+        if np.any(achieved_bandwidth < 0):
+            raise CalibrationError("achieved bandwidth must be non-negative")
+
+        ratio = f_mem / self.f_mem_max
+        v_factor = self._voltage_factor_many(ratio)
+        background = (self.background_idle
+                      + self.background_slope * ratio * v_factor)
+        pll_phy = self.pll_phy_idle + self.pll_phy_slope * ratio * v_factor
+
+        access_rate = achieved_bandwidth / self.burst_bytes
+        activate = self.activate_energy * access_rate * v_factor
+
+        rw_energy = self.read_write_energy_per_byte * (
+            1.0 + self.read_write_low_freq_penalty * (1.0 - ratio)
+        )
+        read_write = rw_energy * achieved_bandwidth * v_factor
+        termination = (self.termination_energy_per_byte
+                       * achieved_bandwidth * v_factor)
+        return background + pll_phy + activate + read_write + termination

@@ -29,13 +29,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
+import numpy as np
+
+from repro.errors import AnalysisError
 from repro.gpu.architecture import GpuArchitecture
 from repro.gpu.clocks import ClockDomainModel
 from repro.gpu.config import HardwareConfig
 from repro.gpu.occupancy import OccupancyResult, compute_occupancy
 from repro.memory.controller import MemoryControllerModel
+from repro.perf.batch import BatchCounters, BatchModelOutput
 from repro.perf.counters import PerfCounters
 from repro.perf.kernelspec import KernelSpec
 from repro.perf.result import TimeBreakdown
@@ -162,6 +166,155 @@ class PerformanceModel:
             achieved_bandwidth=achieved_bw,
             occupancy=occupancy,
             bandwidth_limit=binding,
+        )
+
+    # --- batched entry ----------------------------------------------------------
+
+    def run_batch(
+        self, spec: KernelSpec, configs: Sequence[HardwareConfig]
+    ) -> BatchModelOutput:
+        """Evaluate the model for one kernel over many configurations.
+
+        Vectorized equivalent of calling :meth:`run` once per configuration:
+        every per-config quantity is computed as a NumPy array over the
+        configuration axis, mirroring the scalar arithmetic operation for
+        operation so the results match :meth:`run` bit for bit. Occupancy,
+        instruction counts and register pressure are configuration-invariant
+        and computed once.
+        """
+        configs = tuple(configs)
+        if not configs:
+            raise AnalysisError("run_batch requires at least one configuration")
+
+        # Small integers are exact in float64, so keeping everything in one
+        # dtype preserves bitwise agreement with the scalar int/float mix.
+        n_cu = np.array([c.n_cu for c in configs], dtype=np.float64)
+        f_cu = np.array([c.f_cu for c in configs], dtype=np.float64)
+        f_mem = np.array([c.f_mem for c in configs], dtype=np.float64)
+
+        occupancy = compute_occupancy(
+            self._arch,
+            vgprs_per_workitem=spec.vgprs_per_workitem,
+            sgprs_per_wave=spec.sgprs_per_wave,
+            lds_bytes_per_workgroup=spec.lds_bytes_per_workgroup,
+            workgroup_size=spec.workgroup_size,
+        )
+        waves = self._wavefront_count(spec)
+
+        # Compute time (mirrors _compute_time).
+        issue_cycles_per_wave = (
+            spec.valu_insts_per_item / max(spec.lane_utilization, 1e-6)
+            + spec.mem_insts_per_item
+        ) * self._arch.cycles_per_valu_inst
+        simds = n_cu * self._arch.simds_per_cu
+        t_comp = waves * issue_cycles_per_wave / simds / f_cu
+
+        # DRAM traffic (mirrors _dram_traffic / effective_l2_hit_rate).
+        gated_fraction = 1.0 - n_cu / self._arch.max_compute_units
+        hit = np.minimum(
+            0.98, spec.l2_hit_rate + spec.l2_thrash_sensitivity * gated_fraction
+        )
+        footprint = spec.footprint_bytes_per_item * spec.total_workitems
+        traffic = footprint * (1.0 - hit)
+        has_traffic = traffic > 0
+
+        # Memory time (mirrors _memory_time).
+        peak, efficiency_limited, mlp_limited = (
+            self._controller.achievable_bandwidth_many(
+                f_mem=f_mem,
+                n_cu=n_cu,
+                waves_per_simd=occupancy.waves_per_simd,
+                outstanding_per_wave=spec.outstanding_per_wave,
+                access_efficiency=spec.access_efficiency,
+            )
+        )
+        limit_achievable = np.minimum(efficiency_limited, mlp_limited)
+        crossing = self._clock_domains.crossing_bytes_per_cycle * f_cu
+        achievable = np.minimum(limit_achievable, crossing)
+        t_mem = np.where(has_traffic, traffic / achievable, 0.0)
+        binding = np.where(
+            ~has_traffic,
+            "none",
+            np.where(
+                crossing < limit_achievable,
+                "crossing",
+                np.where(efficiency_limited <= mlp_limited, "efficiency", "mlp"),
+            ),
+        )
+
+        overlap_residue = spec.overlap_inefficiency * np.minimum(t_comp, t_mem)
+        # TimeBreakdown.total: max(compute, memory) + residue + overhead.
+        total = np.maximum(t_comp, t_mem) + overlap_residue + spec.launch_overhead
+        # t_comp > 0 always (a spec executes at least one instruction), so
+        # total > 0 and the scalar path's `if total > 0` guards never bind.
+        achieved_bw = traffic / total
+
+        counters = self._synthesize_counters_batch(
+            spec, n_cu, f_cu, f_mem, t_comp, t_mem, total, achieved_bw
+        )
+        return BatchModelOutput(
+            compute_time=t_comp,
+            memory_time=t_mem,
+            overlap_residue=overlap_residue,
+            launch_overhead=spec.launch_overhead,
+            time=total,
+            achieved_bandwidth=achieved_bw,
+            occupancy=occupancy,
+            bandwidth_limit=tuple(str(b) for b in binding),
+            counters=counters,
+        )
+
+    def _synthesize_counters_batch(
+        self,
+        spec: KernelSpec,
+        n_cu: np.ndarray,
+        f_cu: np.ndarray,
+        f_mem: np.ndarray,
+        t_comp: np.ndarray,
+        t_mem: np.ndarray,
+        total: np.ndarray,
+        achieved_bw: np.ndarray,
+    ) -> BatchCounters:
+        """Vectorized :meth:`_synthesize_counters` (total > 0 guaranteed)."""
+        valu_busy = 100.0 * np.minimum(1.0, t_comp / total)
+
+        waves = self._wavefront_count(spec)
+        cache_cycles = (
+            waves * spec.mem_insts_per_item * self._arch.cycles_per_valu_inst
+            / (n_cu * self._arch.simds_per_cu)
+        )
+        t_cache = cache_cycles / f_cu
+        mem_busy = 100.0 * np.minimum(1.0, (t_mem + t_cache) / total)
+
+        exposed = np.maximum(0.0, t_mem - t_comp)
+        stalled = 100.0 * np.minimum(1.0, exposed / total)
+        write_share = (
+            spec.vwrite_insts_per_item / spec.mem_insts_per_item
+            if spec.mem_insts_per_item > 0
+            else 0.0
+        )
+        mem_unit_stalled = stalled * (1.0 - write_share)
+        write_unit_stalled = stalled * write_share
+
+        # Peak bandwidth, mirroring GpuArchitecture.peak_memory_bandwidth.
+        per_mc_bytes = self._arch.bus_width_bits_per_mc / 8.0
+        peak_bw = (f_mem * per_mc_bytes * self._arch.memory_controllers
+                   * self._arch.gddr5_transfer_rate)
+        ic_activity = np.minimum(1.0, achieved_bw / peak_bw)
+
+        lane_factor = self._arch.wavefront_width / 1.0e6
+        return BatchCounters(
+            valu_busy=valu_busy,
+            mem_unit_busy=mem_busy,
+            mem_unit_stalled=mem_unit_stalled,
+            write_unit_stalled=write_unit_stalled,
+            ic_activity=ic_activity,
+            valu_utilization=100.0 * spec.lane_utilization,
+            norm_vgpr=min(1.0, spec.vgprs_per_workitem / self._arch.vgprs_per_simd),
+            norm_sgpr=min(1.0, spec.sgprs_per_wave / self._arch.sgprs_per_wave_file),
+            valu_insts_millions=waves * spec.valu_insts_per_item * lane_factor,
+            vfetch_insts_millions=waves * spec.vfetch_insts_per_item * lane_factor,
+            vwrite_insts_millions=waves * spec.vwrite_insts_per_item * lane_factor,
         )
 
     # --- counters -----------------------------------------------------------------

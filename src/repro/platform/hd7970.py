@@ -15,16 +15,19 @@ away by running each application multiple times (Section 6).
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Hashable, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.gpu.config import ConfigSpace, HardwareConfig
 from repro.memory.controller import MemoryControllerModel
+from repro.perf.batch import BatchRunResult
 from repro.perf.kernelspec import KernelSpec
 from repro.perf.model import PerformanceModel
 from repro.perf.result import KernelRunResult
 from repro.platform.calibration import (PlatformCalibration, default_calibration, pitcairn_calibration)
+from repro.platform.sweepcache import SweepCache, shared_cache
 from repro.power.board import BoardPowerModel
 
 
@@ -82,6 +85,16 @@ class HardwarePlatform:
         """The underlying board power model."""
         return self._board
 
+    @property
+    def noise_std_fraction(self) -> float:
+        """Run-to-run execution-time noise fraction (0 = deterministic)."""
+        return self._noise
+
+    @property
+    def is_deterministic(self) -> bool:
+        """True when launches are noise-free (batch path available)."""
+        return self._noise == 0
+
     def baseline_config(self) -> HardwareConfig:
         """The shipping PowerTune operating point.
 
@@ -121,6 +134,104 @@ class HardwarePlatform:
             achieved_bandwidth=output.achieved_bandwidth,
             occupancy=output.occupancy.occupancy,
             bandwidth_limit=output.bandwidth_limit,
+        )
+
+    # --- batched entry ----------------------------------------------------------
+
+    def run_kernel_batch(
+        self,
+        spec: KernelSpec,
+        configs: Optional[Sequence[HardwareConfig]] = None,
+    ) -> BatchRunResult:
+        """Launch ``spec`` at many configurations in one vectorized pass.
+
+        Equivalent to calling :meth:`run_kernel` once per configuration on
+        a noise-free platform, but evaluated as NumPy array expressions
+        over the configuration axis — one model evaluation for the whole
+        grid instead of ~450 Python round trips.
+
+        Args:
+            spec: the kernel to evaluate.
+            configs: configurations to evaluate, in order; defaults to the
+                platform's full configuration grid.
+
+        Raises:
+            ConfigurationError: if a configuration is off the platform grid,
+                or if the platform has measurement noise enabled — the
+                batch path is deterministic by contract (each scalar launch
+                draws a fresh noise sample from the platform RNG, which a
+                vectorized pass cannot reproduce; see docs/performance.md).
+        """
+        if self._noise > 0:
+            raise ConfigurationError(
+                "run_kernel_batch requires a noise-free platform "
+                f"(noise_std_fraction={self._noise}); use run_kernel for "
+                "noisy measurements"
+            )
+        if configs is None:
+            configs = tuple(self._space)
+        else:
+            configs = tuple(configs)
+            for config in configs:
+                self._space.validate(config)
+
+        model = self._perf.run_batch(spec, configs)
+        n_cu = np.array([c.n_cu for c in configs], dtype=np.float64)
+        f_cu = np.array([c.f_cu for c in configs], dtype=np.float64)
+        f_mem = np.array([c.f_mem for c in configs], dtype=np.float64)
+        gpu_watts, mem_watts = self._board.sample_batch(
+            n_cu=n_cu,
+            f_cu=f_cu,
+            f_mem=f_mem,
+            counters=model.counters,
+            achieved_bandwidth=model.achieved_bandwidth,
+        )
+        return BatchRunResult(
+            kernel_name=spec.name,
+            configs=configs,
+            model=model,
+            gpu_power=gpu_watts,
+            memory_power=mem_watts,
+            other_power=self._board.other_power,
+        )
+
+    def sweep_cache_key(self, spec: KernelSpec) -> Hashable:
+        """The shared-cache key of this platform's full-grid sweep of
+        ``spec``: calibration, kernel and grid axes, all by value."""
+        return (
+            self._cal,
+            spec,
+            (
+                self._space.cu_counts,
+                self._space.compute_frequencies,
+                self._space.memory_frequencies,
+            ),
+        )
+
+    def grid_sweep(
+        self, spec: KernelSpec, cache: Optional[SweepCache] = None
+    ) -> BatchRunResult:
+        """Full-grid batch evaluation of ``spec`` through the sweep cache.
+
+        All whole-grid consumers (oracle, sensitivity measurement,
+        characterization, analysis sweeps) go through this entry so one
+        kernel's 450-point surface is computed once per process and shared.
+
+        Args:
+            spec: the kernel to evaluate.
+            cache: the cache to consult; defaults to the process-wide
+                :func:`~repro.platform.sweepcache.shared_cache`.
+
+        Raises:
+            ConfigurationError: if the platform has noise enabled (noisy
+                surfaces must not be cached — they would freeze one noise
+                realization; see :meth:`run_kernel_batch`).
+        """
+        if cache is None:
+            cache = shared_cache()
+        return cache.get_or_compute(
+            self.sweep_cache_key(spec),
+            lambda: self.run_kernel_batch(spec),
         )
 
 

@@ -1,0 +1,124 @@
+"""Cross-experiment cache of whole-grid sweep results.
+
+The oracle (:mod:`repro.core.oracle`), the sensitivity measurement
+(:mod:`repro.sensitivity.measurement`), the analysis sweeps
+(:mod:`repro.analysis.sweep`) and the characterization experiment
+(:mod:`repro.experiments.characterization`) each evaluate the same kernels
+over the same ~450-point configuration grid. Before this cache existed,
+every consumer re-ran its own sweep — the Figure 10-13 evaluation pipeline
+evaluated each kernel's grid three or four times over.
+
+A :class:`SweepCache` maps::
+
+    (PlatformCalibration, KernelSpec, (cu_counts, compute_freqs, mem_freqs))
+        -> BatchRunResult
+
+All three key components are frozen, value-hashable dataclasses/tuples, so
+keying is *by value*: two platforms built from the same calibration share
+entries, and changing any calibration constant, kernel characteristic or
+grid axis naturally misses — no explicit invalidation protocol is needed.
+
+Results for **noisy** platforms (``noise_std_fraction > 0``) must never be
+cached: their scalar path draws from an RNG per launch, so a cached surface
+would freeze one particular noise realization. The platform enforces this
+by refusing batched evaluation when noise is enabled (see
+:meth:`repro.platform.hd7970.HardwarePlatform.run_kernel_batch`).
+
+The cache is bounded (LRU) and thread-safe, because the parallel fan-out in
+:mod:`repro.runtime.parallel` evaluates several applications' kernels
+concurrently against the shared instance from :func:`shared_cache`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional, Tuple
+
+from repro.perf.batch import BatchRunResult
+
+
+class SweepCache:
+    """Bounded, thread-safe LRU cache of :class:`BatchRunResult` grids.
+
+    Attributes:
+        maxsize: maximum number of cached grids; each entry holds a dozen
+            float arrays over ~450 configs (a few tens of KB), so the
+            default comfortably covers every kernel x calibration pair the
+            repro evaluates.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, BatchRunResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], BatchRunResult]
+    ) -> BatchRunResult:
+        """Return the cached grid for ``key``, computing it on a miss.
+
+        ``compute`` runs outside the lock so a slow sweep does not block
+        concurrent lookups of other kernels; if two threads race on the
+        same key, both compute and the second result wins (results are
+        deterministic, so the duplicates are identical).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry
+            self._misses += 1
+        result = compute()
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return result
+
+    def get(self, key: Hashable) -> Optional[BatchRunResult]:
+        """The cached grid for ``key``, or None (counts as hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+            else:
+                self._misses += 1
+            return entry
+
+    def clear(self) -> None:
+        """Drop every cached grid (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def stats(self) -> Tuple[int, int]:
+        """``(hits, misses)`` since construction."""
+        with self._lock:
+            return self._hits, self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when never used)."""
+        hits, misses = self.stats
+        lookups = hits + misses
+        return hits / lookups if lookups > 0 else 0.0
+
+
+_SHARED = SweepCache()
+
+
+def shared_cache() -> SweepCache:
+    """The process-wide sweep cache shared by all consumers."""
+    return _SHARED

@@ -13,10 +13,14 @@ measurement on the paper's rig would recover.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
 
 from repro.errors import CalibrationError
 from repro.gpu.config import HardwareConfig
 from repro.memory.power import MemoryPowerModel
+from repro.perf.batch import BatchCounters
 from repro.perf.counters import PerfCounters
 from repro.perf.result import PowerSample
 from repro.power.gpu_power import GpuPowerModel
@@ -62,3 +66,26 @@ class BoardPowerModel:
         gpu_watts = self.gpu.chip_power(config.n_cu, config.f_cu, activity)
         mem_watts = self.memory.total_power(config.f_mem, achieved_bandwidth)
         return PowerSample(gpu=gpu_watts, memory=mem_watts, other=self.other_power)
+
+    def sample_batch(
+        self,
+        n_cu: np.ndarray,
+        f_cu: np.ndarray,
+        f_mem: np.ndarray,
+        counters: BatchCounters,
+        achieved_bandwidth: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`sample` over a batch of configurations.
+
+        Returns:
+            ``(gpu_watts, mem_watts)`` arrays; ``other_power`` is constant
+            and attached by the caller.
+        """
+        activity = self.gpu.activity_factor_many(
+            valu_busy=counters.valu_busy,
+            valu_utilization=counters.valu_utilization,
+            mem_unit_busy=counters.mem_unit_busy,
+        )
+        gpu_watts = self.gpu.chip_power_many(n_cu, f_cu, activity)
+        mem_watts = self.memory.total_power_many(f_mem, achieved_bandwidth)
+        return gpu_watts, mem_watts

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import CalibrationError
 from repro.gpu.dvfs import GpuDvfsTable
 
@@ -101,4 +103,50 @@ class GpuPowerModel:
             activity, 0.3
         )
         uncore_leak = self._leakage(self.uncore_leakage_nominal, voltage)
+        return cu_dynamic + cu_leak + uncore_dynamic + uncore_leak
+
+    # --- vectorized path ------------------------------------------------------
+
+    def activity_factor_many(self, valu_busy: np.ndarray,
+                             valu_utilization: float,
+                             mem_unit_busy: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`activity_factor` over counter arrays.
+
+        ``valu_utilization`` is configuration-invariant (it reflects branch
+        divergence, not the operating point) and stays a scalar.
+        """
+        if not 0 <= valu_utilization <= 100 + 1e-9:
+            raise CalibrationError(
+                f"valu_utilization={valu_utilization} outside [0, 100]"
+            )
+        for name, values in (("valu_busy", valu_busy),
+                             ("mem_unit_busy", mem_unit_busy)):
+            if np.any(values < 0) or np.any(values > 100 + 1e-9):
+                raise CalibrationError(f"{name} outside [0, 100]")
+        alu_share = (valu_busy / 100.0) * (0.4 + 0.6 * valu_utilization / 100.0)
+        mem_share = 0.25 * (mem_unit_busy / 100.0)
+        return np.minimum(1.0, np.maximum(self.min_activity,
+                                          alu_share + mem_share))
+
+    def chip_power_many(self, n_cu: np.ndarray, f_cu: np.ndarray,
+                        activity: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`chip_power` over configuration arrays.
+
+        The arithmetic mirrors the scalar path operation for operation so
+        batched sweeps agree with per-launch sampling.
+        """
+        if np.any(n_cu <= 0):
+            raise CalibrationError("n_cu must be positive")
+        if np.any(f_cu <= 0):
+            raise CalibrationError("f_cu must be positive")
+        if np.any(activity < 0) or np.any(activity > 1):
+            raise CalibrationError("activity must be in [0, 1]")
+        voltage = self.dvfs.voltage_at_many(f_cu)
+        cu_dynamic = n_cu * self.cu_capacitance * f_cu * voltage ** 2 * activity
+        cu_leak = n_cu * (self.cu_leakage_nominal
+                          * (voltage / self.v_nominal) ** 2)
+        uncore_dynamic = (self.uncore_capacitance * f_cu * voltage ** 2
+                          * np.maximum(activity, 0.3))
+        uncore_leak = (self.uncore_leakage_nominal
+                       * (voltage / self.v_nominal) ** 2)
         return cu_dynamic + cu_leak + uncore_dynamic + uncore_leak

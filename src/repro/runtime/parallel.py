@@ -1,0 +1,51 @@
+"""Thread-based fan-out for embarrassingly parallel experiment stages.
+
+The expensive stages of the repro — training-set construction (one
+independent measurement pipeline per kernel spec) and the Figures 10-13
+policy matrix (one independent run per application) — are pure fan-outs
+over independent work items. :func:`fan_out` runs them on a thread pool.
+
+Threads (not processes) are the right tool here: the working set is the
+shared :func:`~repro.platform.sweepcache.shared_cache` of NumPy sweep
+surfaces, which processes would have to rebuild per worker, and the
+vectorized batch path spends its time inside NumPy, which releases the
+GIL. Workers must not mutate shared state; stateful policies are isolated
+per item by constructing them inside the worker (see
+:meth:`~repro.analysis.evaluation.EvaluationHarness.evaluate`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.errors import AnalysisError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def fan_out(fn: Callable[[T], R], items: Sequence[T], jobs: int = 1) -> List[R]:
+    """Apply ``fn`` to every item, optionally on a thread pool.
+
+    Results are returned in item order regardless of completion order, so
+    ``fan_out(fn, items, jobs=n)`` is a drop-in replacement for
+    ``[fn(item) for item in items]``. The first worker exception
+    propagates to the caller.
+
+    Args:
+        fn: the per-item work function (must not mutate shared state).
+        items: the work items.
+        jobs: maximum concurrent workers; 1 (the default) runs serially on
+            the calling thread with no pool overhead.
+
+    Raises:
+        AnalysisError: if ``jobs`` is not positive.
+    """
+    if jobs < 1:
+        raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+    items = list(items)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))

@@ -26,6 +26,7 @@ from repro.errors import AnalysisError
 from repro.perf.counters import PerfCounters
 from repro.perf.kernelspec import KernelSpec
 from repro.platform.hd7970 import HardwarePlatform
+from repro.runtime.parallel import fan_out
 from repro.sensitivity.measurement import SensitivityMeasurement, measure_sensitivities
 from repro.workloads.application import Application
 from repro.workloads.kernel import WorkloadKernel
@@ -80,12 +81,16 @@ def _averaged_features(platform: HardwarePlatform, spec: KernelSpec,
                        config_stride: int) -> Dict[str, float]:
     """Counter features averaged over a spread of configurations."""
     space = platform.config_space
+    surface = platform.grid_sweep(spec) if platform.is_deterministic else None
     sums: Dict[str, float] = {}
     count = 0
     for idx, config in enumerate(space):
         if idx % config_stride:
             continue
-        counters = platform.run_kernel(spec, config).counters
+        if surface is not None:
+            counters = surface.counters.at(idx)
+        else:
+            counters = platform.run_kernel(spec, config).counters
         for name, value in counters.as_feature_dict().items():
             sums[name] = sums.get(name, 0.0) + value
         count += 1
@@ -98,6 +103,7 @@ def build_dataset(
     platform: HardwarePlatform,
     applications: Sequence[Application],
     config_stride: int = 16,
+    jobs: int = 1,
 ) -> SensitivityDataset:
     """Build the Section 4.2 training set from a workload list.
 
@@ -107,6 +113,10 @@ def build_dataset(
         config_stride: sample every Nth configuration when averaging
             counters (the average is extremely stable across configs, so a
             stride keeps training cheap without changing the result).
+        jobs: fan the per-kernel measurement pipelines out over up to this
+            many threads (each distinct spec is independent; results are
+            assembled in spec order, so the dataset is identical for any
+            job count).
 
     Returns:
         A :class:`SensitivityDataset` with one row per distinct kernel
@@ -114,14 +124,20 @@ def build_dataset(
     """
     if config_stride < 1:
         raise AnalysisError("config_stride must be >= 1")
+
+    def measure_one(spec: KernelSpec):
+        features = _averaged_features(platform, spec, config_stride)
+        measured = measure_sensitivities(platform, spec)
+        return features, measured
+
+    specs = _distinct_specs(applications)
+    outcomes = fan_out(measure_one, specs, jobs=jobs)
+
     rows: List[Mapping[str, float]] = []
     compute_targets: List[float] = []
     bandwidth_targets: List[float] = []
     names: List[str] = []
-
-    for spec in _distinct_specs(applications):
-        features = _averaged_features(platform, spec, config_stride)
-        measured = measure_sensitivities(platform, spec)
+    for spec, (features, measured) in zip(specs, outcomes):
         rows.append(features)
         compute_targets.append(measured.compute)
         bandwidth_targets.append(measured.bandwidth)

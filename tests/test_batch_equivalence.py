@@ -1,0 +1,129 @@
+"""Batch sweep engine vs the scalar path: element-exact equivalence.
+
+The vectorized batch path (``run_kernel_batch``) mirrors the scalar
+arithmetic operation for operation, so its results must match per-launch
+evaluation exactly — not merely approximately — for every registered
+kernel on both calibrations. These tests pin that contract, plus the
+documented noise semantics: batch evaluation is deterministic by contract
+and refuses noisy platforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import ConfigSweep
+from repro.errors import AnalysisError, ConfigurationError
+from repro.platform.hd7970 import make_hd7970_platform, make_pitcairn_platform
+from repro.workloads.registry import all_kernels
+
+#: Acceptance tolerance on time/energy/power. The implementation is
+#: bitwise exact; 1e-9 is the documented contract ceiling.
+REL_TOL = 1e-9
+
+
+def _rel_err(a: float, b: float) -> float:
+    return abs(a - b) / abs(a) if a != 0 else abs(b)
+
+
+@pytest.fixture(scope="module", params=["hd7970", "pitcairn"])
+def any_platform(request):
+    if request.param == "hd7970":
+        return make_hd7970_platform()
+    return make_pitcairn_platform()
+
+
+@pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.base.name)
+def test_batch_matches_scalar_everywhere(any_platform, kernel):
+    """Every kernel, every grid config, both calibrations: batch == scalar."""
+    spec = kernel.base
+    configs = tuple(any_platform.config_space)
+    batch = any_platform.run_kernel_batch(spec, configs)
+    assert len(batch) == len(configs)
+
+    for i, config in enumerate(configs):
+        scalar = any_platform.run_kernel(spec, config)
+        assert _rel_err(scalar.time, float(batch.time[i])) <= REL_TOL
+        assert _rel_err(scalar.energy, float(batch.energy[i])) <= REL_TOL
+        assert _rel_err(scalar.power.card, float(batch.card_power[i])) <= REL_TOL
+        assert scalar.bandwidth_limit == batch.bandwidth_limit[i]
+
+        # Full reconstruction: breakdown, counters, power decomposition.
+        rebuilt = batch.result_at(i)
+        assert rebuilt.config == config
+        assert _rel_err(scalar.power.gpu, rebuilt.power.gpu) <= REL_TOL
+        assert _rel_err(scalar.power.memory, rebuilt.power.memory) <= REL_TOL
+        assert rebuilt.power.other == scalar.power.other
+        assert _rel_err(scalar.breakdown.compute, rebuilt.breakdown.compute) <= REL_TOL
+        assert _rel_err(scalar.breakdown.memory, rebuilt.breakdown.memory) <= REL_TOL
+        assert _rel_err(scalar.achieved_bandwidth,
+                        rebuilt.achieved_bandwidth) <= REL_TOL
+        assert rebuilt.occupancy == scalar.occupancy
+        assert rebuilt.counters == scalar.counters
+
+
+def test_batch_metric_surfaces_are_consistent(fresh_platform):
+    """Derived arrays (ed, ed2, performance) agree with per-point math."""
+    spec = all_kernels()[0].base
+    batch = fresh_platform.run_kernel_batch(spec)
+    np.testing.assert_array_equal(batch.ed, batch.energy * batch.time)
+    np.testing.assert_array_equal(
+        batch.ed2, batch.energy * batch.time * batch.time
+    )
+    np.testing.assert_array_equal(batch.performance, 1.0 / batch.time)
+
+
+def test_batch_subset_and_lookup(fresh_platform):
+    """Explicit config subsets evaluate in order and index correctly."""
+    spec = all_kernels()[0].base
+    configs = tuple(fresh_platform.config_space)[::37]
+    batch = fresh_platform.run_kernel_batch(spec, configs)
+    assert batch.configs == configs
+    probe = configs[len(configs) // 2]
+    assert batch.time_at(probe) == float(batch.time[batch.index_of(probe)])
+    off_grid = fresh_platform.config_space.max_config()
+    if off_grid not in configs:
+        with pytest.raises(AnalysisError):
+            batch.index_of(off_grid)
+
+
+def test_batch_validates_configs(fresh_platform):
+    """Off-grid configurations are rejected like the scalar path."""
+    spec = all_kernels()[0].base
+    bad = fresh_platform.config_space.max_config().replace(f_mem=123e6)
+    with pytest.raises(ConfigurationError):
+        fresh_platform.run_kernel_batch(spec, [bad])
+
+
+def test_empty_batch_rejected(fresh_platform):
+    spec = all_kernels()[0].base
+    with pytest.raises(AnalysisError):
+        fresh_platform.run_kernel_batch(spec, [])
+
+
+def test_noisy_platform_refuses_batch():
+    """Documented noise semantics: the batch path is deterministic only."""
+    noisy = make_hd7970_platform(noise_std_fraction=0.05, seed=7)
+    assert not noisy.is_deterministic
+    spec = all_kernels()[0].base
+    with pytest.raises(ConfigurationError):
+        noisy.run_kernel_batch(spec)
+    with pytest.raises(ConfigurationError):
+        noisy.grid_sweep(spec)
+
+
+def test_noisy_sweep_falls_back_to_scalar():
+    """ConfigSweep still works (scalar, per-launch noise) on noisy rigs."""
+    noisy = make_hd7970_platform(noise_std_fraction=0.05, seed=7)
+    clean = make_hd7970_platform()
+    spec = all_kernels()[0].base
+    noisy_sweep = ConfigSweep(noisy, spec)
+    clean_sweep = ConfigSweep(clean, spec)
+    assert len(noisy_sweep) == len(clean_sweep) == len(clean.config_space)
+    # The noise draw actually landed: surfaces differ point-for-point.
+    diffs = sum(
+        1 for a, b in zip(noisy_sweep.points, clean_sweep.points)
+        if a.time != b.time
+    )
+    assert diffs > len(clean_sweep) // 2

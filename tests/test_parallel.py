@@ -1,0 +1,88 @@
+"""Parallel fan-out: ordering, error propagation, result invariance."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.evaluation import EvaluationHarness
+from repro.errors import AnalysisError
+from repro.experiments.context import ExperimentContext
+from repro.runtime.parallel import fan_out
+from repro.sensitivity.dataset import build_dataset
+
+
+def test_fan_out_preserves_item_order():
+    items = list(range(40))
+    assert fan_out(lambda x: x * x, items, jobs=8) == [x * x for x in items]
+
+
+def test_fan_out_serial_and_parallel_agree():
+    items = ["a", "bb", "ccc"]
+    assert fan_out(len, items, jobs=1) == fan_out(len, items, jobs=3)
+
+
+def test_fan_out_actually_runs_concurrently():
+    barrier = threading.Barrier(4, timeout=10)
+
+    def rendezvous(_):
+        barrier.wait()  # only passes if 4 workers run at once
+        return True
+
+    assert fan_out(rendezvous, range(4), jobs=4) == [True] * 4
+
+
+def test_fan_out_propagates_errors():
+    def explode(x):
+        if x == 2:
+            raise ValueError("boom")
+        return x
+
+    with pytest.raises(ValueError, match="boom"):
+        fan_out(explode, range(4), jobs=4)
+
+
+def test_fan_out_rejects_bad_jobs():
+    with pytest.raises(AnalysisError):
+        fan_out(lambda x: x, [1], jobs=0)
+
+
+def test_build_dataset_invariant_under_jobs(platform, context):
+    """The training set is identical for any thread count."""
+    apps = context.applications[:4]
+    serial = build_dataset(platform, apps, config_stride=32, jobs=1)
+    parallel = build_dataset(platform, apps, config_stride=32, jobs=4)
+    assert serial.kernel_names == parallel.kernel_names
+    assert serial.compute_targets == parallel.compute_targets
+    assert serial.bandwidth_targets == parallel.bandwidth_targets
+    assert serial.rows == parallel.rows
+
+
+def test_parallel_evaluation_matches_serial(context):
+    """Per-app fresh policies + fan-out == the serial shared-policy loop."""
+    ctx = ExperimentContext(platform=context.platform)
+    apps = [context.application("MaxFlops"), context.application("CoMD"),
+            context.application("Sort")]
+    harness = EvaluationHarness(ctx.platform, ctx.baseline_policy())
+
+    serial = harness.evaluate(apps, [ctx.harmonia_policy(), ctx.oracle_policy()])
+    parallel = harness.evaluate_parallel(
+        apps,
+        baseline_factory=ctx.baseline_policy,
+        policy_factories=[ctx.harmonia_policy, ctx.oracle_policy],
+        jobs=3,
+    )
+
+    assert len(serial.comparisons) == len(parallel.comparisons)
+    for s, p in zip(serial.comparisons, parallel.comparisons):
+        assert (s.application, s.policy) == (p.application, p.policy)
+        assert s.candidate.time == p.candidate.time
+        assert s.candidate.energy == p.candidate.energy
+        assert s.baseline.time == p.baseline.time
+
+
+def test_context_jobs_validation():
+    with pytest.raises(ValueError):
+        ExperimentContext(jobs=0)
+    assert ExperimentContext(jobs=3).jobs == 3
