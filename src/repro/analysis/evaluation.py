@@ -15,6 +15,12 @@ from repro.errors import AnalysisError
 from repro.core.policy import PowerPolicy
 from repro.platform.hd7970 import HardwarePlatform
 from repro.runtime.metrics import RunMetrics, geomean, improvement
+from repro.runtime.montecarlo import (
+    MetricBand,
+    MonteCarloComparison,
+    MonteCarloEngine,
+    geomean_band,
+)
 from repro.runtime.parallel import fan_out
 from repro.runtime.simulator import ApplicationRunner, RunResult
 from repro.workloads.application import Application
@@ -120,6 +126,52 @@ class EvaluationSummary:
         return self._geomean_of(policy, "performance_delta", exclude_stress)
 
 
+@dataclass(frozen=True)
+class MonteCarloSummary:
+    """All policies x all applications under repeated-trial noise.
+
+    The Monte Carlo analogue of :class:`EvaluationSummary`: every cell is
+    a seed-paired :class:`~repro.runtime.montecarlo.MonteCarloComparison`
+    whose improvement metrics carry mean/std/95% CI bands instead of
+    point values.
+    """
+
+    comparisons: Tuple[MonteCarloComparison, ...]
+    seeds: Tuple[int, ...]
+    noise_std_fraction: float
+
+    def for_policy(self, policy: str) -> Tuple[MonteCarloComparison, ...]:
+        """All per-application comparisons of one policy."""
+        rows = tuple(c for c in self.comparisons if c.policy == policy)
+        if not rows:
+            raise AnalysisError(f"no comparisons for policy {policy!r}")
+        return rows
+
+    def comparison(self, application: str,
+                   policy: str) -> MonteCarloComparison:
+        """One application x policy cell."""
+        for c in self.comparisons:
+            if c.application == application and c.policy == policy:
+                return c
+        raise AnalysisError(f"no comparison for {application!r} x {policy!r}")
+
+    def geomean(self, policy: str, attribute: str,
+                exclude_stress: bool = False) -> MetricBand:
+        """Banded geomean of a comparison attribute for one policy.
+
+        The geomean runs over applications within each trial seed and is
+        banded across seeds, so the CI reflects what repeated measurement
+        campaigns of the whole suite would report.
+        """
+        rows = self.for_policy(policy)
+        if exclude_stress:
+            rows = tuple(r for r in rows
+                         if r.application not in STRESS_BENCHMARKS)
+        if not rows:
+            raise AnalysisError("no applications left after exclusion")
+        return geomean_band(rows, attribute)
+
+
 class EvaluationHarness:
     """Runs the full policy-comparison matrix."""
 
@@ -206,3 +258,59 @@ class EvaluationHarness:
             runs[application.name] = per_app
             comparisons.extend(comps)
         return EvaluationSummary(comparisons=tuple(comparisons), runs=runs)
+
+    def evaluate_montecarlo(
+        self,
+        applications: Sequence[Application],
+        baseline_factory: PolicyFactory,
+        policy_factories: Sequence[PolicyFactory],
+        seeds: "int | Sequence[int]" = 16,
+        noise_std_fraction: float = 0.05,
+        jobs: int = 1,
+    ) -> MonteCarloSummary:
+        """Run the matrix under repeated-trial measurement noise.
+
+        Each (application, policy) pair is rolled out once on the
+        deterministic platform and re-measured across every trial seed by
+        the vectorized :class:`~repro.runtime.montecarlo.MonteCarloEngine`
+        — the launch-keyed noise model guarantees each trial matches the
+        scalar noisy run at the same platform seed. Baseline and
+        candidate share seeds, so the reported improvement bands are
+        paired. Applications fan out over ``jobs`` threads with fresh
+        policy instances, serial-exact like :meth:`evaluate_parallel`.
+
+        Args:
+            applications: workloads to evaluate.
+            baseline_factory: constructor of fresh baseline policies.
+            policy_factories: constructors of fresh candidate policies.
+            seeds: trial platform seeds — an int N means ``range(N)``.
+            noise_std_fraction: per-trial execution-time noise fraction.
+            jobs: maximum concurrent application evaluations.
+        """
+        if not applications:
+            raise AnalysisError("no applications to evaluate")
+        engine = MonteCarloEngine(self._platform, noise_std_fraction, seeds)
+
+        def evaluate_app(application: Application):
+            base_run = engine.rollout(application, baseline_factory())
+            comps: List[MonteCarloComparison] = []
+            for factory in policy_factories:
+                policy = factory()
+                cand_run = engine.rollout(application, policy)
+                comps.append(MonteCarloComparison(
+                    application=application.name,
+                    policy=cand_run.policy,
+                    baseline=base_run,
+                    candidate=cand_run,
+                ))
+            return comps
+
+        outcomes = fan_out(evaluate_app, applications, jobs=jobs)
+        comparisons: List[MonteCarloComparison] = []
+        for comps in outcomes:
+            comparisons.extend(comps)
+        return MonteCarloSummary(
+            comparisons=tuple(comparisons),
+            seeds=engine.seeds,
+            noise_std_fraction=noise_std_fraction,
+        )

@@ -63,12 +63,13 @@ class SweepPoint:
 class ConfigSweep:
     """A kernel's full design-space sweep.
 
-    On a deterministic platform the grid is evaluated through the batched
-    sweep engine (:meth:`~repro.platform.hd7970.HardwarePlatform.
-    grid_sweep`) and shared across experiments via the process-wide sweep
-    cache. With measurement noise enabled, each configuration is launched
-    individually so every point draws its own noise sample — a noisy
-    surface is a fresh measurement, never a cache hit.
+    The grid is always evaluated through the batched sweep engine
+    (:meth:`~repro.platform.hd7970.HardwarePlatform.grid_sweep`) and the
+    deterministic surface is shared across experiments via the
+    process-wide sweep cache. With measurement noise enabled, the
+    launch-keyed noise is applied after the cache lookup, so every point
+    carries exactly the draw a per-launch call would see — noisy sweeps
+    run at batch speed without freezing a noise realization.
     """
 
     def __init__(self, platform: HardwarePlatform, spec: KernelSpec):
@@ -76,10 +77,7 @@ class ConfigSweep:
         self._spec = spec
         self._points: List[SweepPoint] = []
         space = platform.config_space
-        if platform.is_deterministic:
-            results = platform.grid_sweep(spec).to_results()
-        else:
-            results = [platform.run_kernel(spec, config) for config in space]
+        results = platform.grid_sweep(spec).to_results()
         for config, result in zip(space, results):
             self._points.append(SweepPoint(
                 config=config,

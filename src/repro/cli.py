@@ -180,6 +180,80 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     context = ExperimentContext(jobs=args.jobs)
     result = fig10_13_evaluation.run(context)
     print(fig10_13_evaluation.format_report(result))
+    if args.seeds:
+        summary = fig10_13_evaluation.run_ci(
+            context, seeds=args.seeds, noise_std_fraction=args.noise,
+            jobs=args.jobs,
+        )
+        print()
+        print(fig10_13_evaluation.format_ci(summary))
+    return 0
+
+
+def cmd_montecarlo(args: argparse.Namespace) -> int:
+    """Repeated-trial Monte Carlo bands for one policy vs the baseline."""
+    from repro.analysis.evaluation import EvaluationHarness
+
+    context = ExperimentContext(jobs=args.jobs)
+    if args.apps:
+        unknown = [a for a in args.apps if a not in application_names()]
+        if unknown:
+            print(f"unknown application(s) {', '.join(map(repr, unknown))}; "
+                  f"try: python -m repro list", file=sys.stderr)
+            return 2
+        apps = [context.application(name) for name in args.apps]
+    else:
+        apps = context.applications
+
+    factories = {
+        "baseline": context.baseline_policy,
+        "harmonia": context.harmonia_policy,
+        "cg-only": context.cg_only_policy,
+        "dvfs-only": context.dvfs_only_policy,
+        "oracle": context.oracle_policy,
+    }
+    if args.jobs > 1 and args.policy not in ("baseline", "oracle"):
+        # Train before fanning out so every worker sees one shared report.
+        _ = context.training
+    harness = EvaluationHarness(context.platform, context.baseline_policy())
+    summary = harness.evaluate_montecarlo(
+        apps,
+        baseline_factory=context.baseline_policy,
+        policy_factories=[factories[args.policy]],
+        seeds=args.seeds,
+        noise_std_fraction=args.noise,
+        jobs=args.jobs,
+    )
+
+    rows = []
+    for comparison in summary.comparisons:
+        ed2 = comparison.ed2_improvement
+        energy = comparison.energy_improvement
+        perf = comparison.performance_delta
+        rows.append((
+            comparison.application,
+            f"{ed2.mean:+.1%} ±{ed2.half_width:.1%}",
+            f"{energy.mean:+.1%} ±{energy.half_width:.1%}",
+            f"{perf.mean:+.1%} ±{perf.half_width:.1%}",
+        ))
+    if len(summary.comparisons) > 1:
+        geo_ed2 = summary.geomean(args.policy, "ed2_improvement")
+        geo_energy = summary.geomean(args.policy, "energy_improvement")
+        geo_perf = summary.geomean(args.policy, "performance_delta")
+        rows.append((
+            "geomean",
+            f"{geo_ed2.mean:+.1%} ±{geo_ed2.half_width:.1%}",
+            f"{geo_energy.mean:+.1%} ±{geo_energy.half_width:.1%}",
+            f"{geo_perf.mean:+.1%} ±{geo_perf.half_width:.1%}",
+        ))
+    print(format_table(
+        headers=("application", "ED2 vs baseline", "energy vs baseline",
+                 "performance"),
+        rows=rows,
+        title=f"{args.policy}: {len(summary.seeds)} Monte Carlo trials at "
+              f"{summary.noise_std_fraction:.0%} time noise "
+              f"(mean ± 95% CI, seed-paired)",
+    ))
     return 0
 
 
@@ -357,7 +431,29 @@ def build_parser() -> argparse.ArgumentParser:
     eval_p.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="evaluate applications on up to N threads "
                              "(results are identical for any N)")
+    eval_p.add_argument("--seeds", type=int, default=0, metavar="N",
+                        help="also print 95%% confidence bands from N "
+                             "Monte Carlo measurement-noise trials")
+    eval_p.add_argument("--noise", type=float, default=0.05, metavar="F",
+                        help="per-trial execution-time noise fraction "
+                             "for --seeds (default: 0.05)")
     eval_p.set_defaults(func=cmd_evaluate)
+
+    mc_p = sub.add_parser(
+        "montecarlo",
+        help="repeated-trial noise bands for one policy vs the baseline",
+    )
+    mc_p.add_argument("apps", nargs="*", metavar="app",
+                      help="application name(s); default: all fourteen")
+    mc_p.add_argument("--policy", choices=_POLICIES, default="harmonia")
+    mc_p.add_argument("--seeds", type=int, default=16, metavar="N",
+                      help="number of Monte Carlo trial seeds (default: 16)")
+    mc_p.add_argument("--noise", type=float, default=0.05, metavar="F",
+                      help="per-trial execution-time noise fraction "
+                           "(default: 0.05)")
+    mc_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="evaluate applications on up to N threads")
+    mc_p.set_defaults(func=cmd_montecarlo)
 
     fig_p = sub.add_parser("figure", help="regenerate one table/figure")
     fig_p.add_argument("name", help="e.g. fig10, table1, ext-thermal")

@@ -11,12 +11,13 @@ charged to the run (the paper's oracle is an offline bound, not a
 deployable policy). Distinct iterations of a phased kernel are profiled
 separately; repeated identical specs hit a cache.
 
-On a deterministic platform the exhaustive profile is one batched grid
-evaluation through the shared sweep cache, so the oracle, the oracle-gap
-experiment and the evaluation harness all search the *same* cached
-surface instead of each re-sweeping every kernel. The per-spec result
-cache keeps its exact semantics either way: a spec maps to exactly one
-optimal configuration, and that mapping survives :meth:`reset`.
+The exhaustive profile is one batched grid evaluation through the shared
+sweep cache, so the oracle, the oracle-gap experiment and the evaluation
+harness all search the *same* cached surface instead of each re-sweeping
+every kernel — on noisy platforms too, where the launch-keyed noise is
+applied after the cache lookup. The per-spec result cache keeps its exact
+semantics either way: a spec maps to exactly one optimal configuration,
+and that mapping survives :meth:`reset`.
 """
 
 from __future__ import annotations
@@ -30,7 +31,6 @@ from repro.gpu.config import HardwareConfig
 from repro.perf.kernelspec import KernelSpec
 from repro.perf.result import KernelRunResult
 from repro.platform.hd7970 import HardwarePlatform
-from repro.runtime.metrics import ed2
 
 
 class OraclePolicy(HistoryMixin):
@@ -54,22 +54,13 @@ class OraclePolicy(HistoryMixin):
         """ED²-optimal grid configuration for one kernel spec."""
         if spec in self._cache:
             return self._cache[spec]
-        if self._platform.is_deterministic:
-            # One batched grid evaluation through the shared sweep cache;
-            # argmin returns the first minimum in grid order, matching the
-            # scalar loop's strict-< update rule.
-            surface = self._platform.grid_sweep(spec)
-            best_config = surface.configs[int(np.argmin(surface.ed2))]
-        else:
-            best_config = None
-            best_metric = float("inf")
-            for config in self._platform.config_space:
-                result = self._platform.run_kernel(spec, config)
-                metric = ed2(result.energy, result.time)
-                if metric < best_metric:
-                    best_metric = metric
-                    best_config = config
-            assert best_config is not None
+        # One batched grid evaluation through the shared sweep cache;
+        # argmin returns the first minimum in grid order, matching a
+        # scalar loop's strict-< update rule. Noisy platforms take the
+        # same path: grid_sweep applies the launch-keyed noise after the
+        # cache lookup, element-identical to per-launch profiling.
+        surface = self._platform.grid_sweep(spec)
+        best_config = surface.configs[int(np.argmin(surface.ed2))]
         self._cache[spec] = best_config
         return best_config
 

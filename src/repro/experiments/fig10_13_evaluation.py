@@ -21,7 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
-from repro.analysis.evaluation import EvaluationSummary
+from repro.analysis.evaluation import (
+    EvaluationHarness,
+    EvaluationSummary,
+    MonteCarloSummary,
+)
 from repro.analysis.report import format_table
 from repro.experiments.context import ExperimentContext, default_context
 
@@ -138,3 +142,74 @@ def format_report(result: EvaluationResult) -> str:
         format_fig12(result),
         format_fig13(result),
     ])
+
+
+# --- Monte Carlo confidence bands --------------------------------------------------------
+
+#: (attribute, table title) pairs the CI report prints, one per figure.
+_CI_TABLES: Tuple[Tuple[str, str], ...] = (
+    ("ed2_improvement", "Figure 10 CI: ED2 improvement over baseline"),
+    ("energy_improvement", "Figure 11 CI: energy improvement over baseline"),
+    ("power_saving", "Figure 12 CI: card power saving over baseline"),
+    ("performance_delta", "Figure 13 CI: performance vs baseline"),
+)
+
+
+def run_ci(context: ExperimentContext = None, seeds: int = 16,
+           noise_std_fraction: float = 0.05,
+           jobs: int = 1) -> MonteCarloSummary:
+    """The evaluation matrix under repeated-trial measurement noise.
+
+    The paper's numbers average repeated hardware measurements; this is
+    the reproduction's analogue — ``seeds`` Monte Carlo trials at
+    ``noise_std_fraction`` run-to-run time noise, seed-paired against the
+    baseline, vectorized by the launch-keyed noise model.
+    """
+    context = context or default_context()
+    harness = EvaluationHarness(context.platform, context.baseline_policy())
+    if jobs > 1:
+        # Train before fanning out, as context.evaluation does: the
+        # factories must all see the one shared training report.
+        _ = context.training
+    return harness.evaluate_montecarlo(
+        context.applications,
+        baseline_factory=context.baseline_policy,
+        policy_factories=[
+            context.cg_only_policy,
+            context.harmonia_policy,
+            context.oracle_policy,
+        ],
+        seeds=seeds,
+        noise_std_fraction=noise_std_fraction,
+        jobs=jobs,
+    )
+
+
+def format_ci(summary: MonteCarloSummary) -> str:
+    """Figures 10-13 with 95% confidence bands (mean ± half-width)."""
+    applications = []
+    for comparison in summary.comparisons:
+        if comparison.application not in applications:
+            applications.append(comparison.application)
+    tables = []
+    for attribute, title in _CI_TABLES:
+        rows = []
+        for app in applications:
+            cells = [app]
+            for policy in POLICIES:
+                band = getattr(summary.comparison(app, policy), attribute)
+                cells.append(f"{band.mean:+.1%} ±{band.half_width:.1%}")
+            rows.append(tuple(cells))
+        for label, exclude in (("geomean 1", False), ("geomean 2", True)):
+            cells = [label]
+            for policy in POLICIES:
+                band = summary.geomean(policy, attribute, exclude)
+                cells.append(f"{band.mean:+.1%} ±{band.half_width:.1%}")
+            rows.append(tuple(cells))
+        tables.append(format_table(
+            headers=("application",) + POLICIES,
+            rows=rows,
+            title=f"{title} ({len(summary.seeds)} trials, "
+                  f"{summary.noise_std_fraction:.0%} time noise)",
+        ))
+    return "\n\n".join(tables)

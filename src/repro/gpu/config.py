@@ -131,6 +131,25 @@ class ConfigSpace:
             and config.f_mem in self._f_mem_grid
         )
 
+    def index_of(self, config: HardwareConfig) -> int:
+        """Position of ``config`` in grid iteration order.
+
+        The inverse of enumeration: ``tuple(space)[space.index_of(c)] == c``.
+        Used as the launch-keyed noise model's per-configuration draw
+        position, so it must be stable for a given grid.
+
+        Raises:
+            ConfigurationError: if ``config`` is off the grid.
+        """
+        self.validate(config)
+        i_cu = self._cu_counts.index(config.n_cu)
+        i_f_cu = self._f_cu_grid.index(config.f_cu)
+        i_f_mem = self._f_mem_grid.index(config.f_mem)
+        return (
+            (i_cu * len(self._f_cu_grid) + i_f_cu) * len(self._f_mem_grid)
+            + i_f_mem
+        )
+
     # --- named corner configurations ----------------------------------------
 
     def min_config(self) -> HardwareConfig:

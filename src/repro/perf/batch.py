@@ -24,6 +24,7 @@ equivalence tests pin this down to a 1e-12 relative tolerance.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -164,6 +165,32 @@ class BatchRunResult:
     def ed2(self) -> np.ndarray:
         """Per-configuration energy-delay-squared (J*s^2)."""
         return self.energy * self.time * self.time
+
+    def with_time_multipliers(self, multipliers: np.ndarray) -> "BatchRunResult":
+        """A copy with every launch time scaled element-wise.
+
+        This is how the platform applies measurement noise to a batch: the
+        deterministic surface stays cacheable and the noise is a
+        post-lookup perturbation of ``time`` (and of the time-derived
+        ``energy`` / ``ed`` / ``ed2`` / ``performance``). Power samples,
+        counters and the time breakdown stay the noise-free model outputs
+        — exactly as on the scalar path, where noise multiplies only the
+        reported launch time.
+
+        Raises:
+            AnalysisError: if ``multipliers`` does not match the batch
+                length one-to-one.
+        """
+        multipliers = np.asarray(multipliers, dtype=np.float64)
+        if multipliers.shape != self.time.shape:
+            raise AnalysisError(
+                f"need one multiplier per configuration: got shape "
+                f"{multipliers.shape} for {len(self)} configs"
+            )
+        clone = copy.copy(self)
+        clone.time = self.time * multipliers
+        clone.energy = clone.card_power * clone.time
+        return clone
 
     # --- lookups -------------------------------------------------------------
 

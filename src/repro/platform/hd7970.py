@@ -9,7 +9,11 @@ bed exclusively through :class:`HardwarePlatform`:
 which is the software-visible contract a real rig offers (launch a kernel
 at a configuration; read back time, counters, and DAQ power). An optional
 run-to-run noise term models the measurement variance the paper averages
-away by running each application multiple times (Section 6).
+away by running each application multiple times (Section 6). Noise is
+**launch-keyed** (:mod:`repro.platform.noise`): a launch's multiplier is a
+pure function of ``(seed, kernel spec, iteration, config)``, so noisy
+evaluation is order-independent, batchable, and identical between the
+scalar and vectorized paths.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from repro.perf.kernelspec import KernelSpec
 from repro.perf.model import PerformanceModel
 from repro.perf.result import KernelRunResult
 from repro.platform.calibration import (PlatformCalibration, default_calibration, pitcairn_calibration)
+from repro.platform.noise import NOISE_FLOOR, LaunchKeyedNoise
 from repro.platform.sweepcache import SweepCache, shared_cache
 from repro.power.board import BoardPowerModel
 
@@ -35,14 +40,20 @@ class HardwarePlatform:
     """A simulated HD7970 card: performance + power + measurement."""
 
     def __init__(self, calibration: Optional[PlatformCalibration] = None,
-                 noise_std_fraction: float = 0.0, seed: int = 0):
+                 noise_std_fraction: float = 0.0, seed: int = 0,
+                 telemetry=None):
         """
         Args:
             calibration: substrate constants; defaults to
                 :func:`~repro.platform.calibration.default_calibration`.
             noise_std_fraction: run-to-run execution-time noise as a
-                fraction of the launch time (0 disables noise).
-            seed: RNG seed for reproducible noise.
+                fraction of the launch time (0 disables noise). Draws are
+                launch-keyed: the same ``(seed, spec, iteration, config)``
+                always yields the same multiplier.
+            seed: key seed for the launch-keyed noise.
+            telemetry: telemetry handle receiving the
+                ``noise_floor_clips_total`` counter (disabled null handle
+                by default).
         """
         self._cal = calibration or default_calibration()
         arch = self._cal.arch
@@ -61,7 +72,17 @@ class HardwarePlatform:
         if noise_std_fraction < 0:
             raise ValueError("noise_std_fraction must be non-negative")
         self._noise = noise_std_fraction
-        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+        self._noise_model: Optional[LaunchKeyedNoise] = (
+            LaunchKeyedNoise(noise_std_fraction, seed, len(self._space))
+            if noise_std_fraction > 0 else None
+        )
+        # Imported here, not at module top: the telemetry package's
+        # __init__ imports the runtime, which imports this module.
+        from repro.telemetry.handle import coalesce
+        self._telemetry = coalesce(telemetry)
+        self._noise_clips = 0
+        self._grid_index: Optional[dict] = None
 
     # --- accessors ------------------------------------------------------------
 
@@ -91,9 +112,46 @@ class HardwarePlatform:
         return self._noise
 
     @property
+    def noise_seed(self) -> int:
+        """The seed keying the launch-keyed noise model."""
+        return self._seed
+
+    @property
+    def noise_model(self) -> Optional[LaunchKeyedNoise]:
+        """The launch-keyed noise model (None on a noise-free platform)."""
+        return self._noise_model
+
+    @property
+    def noise_clip_count(self) -> int:
+        """Launches whose noise draw hit the :data:`NOISE_FLOOR` clamp.
+
+        The clamp (``max(0.05, 1 + draw)``) keeps launch times positive
+        under heavy noise but truncates the fast tail of the distribution;
+        this counter (and the ``noise_floor_clips_total`` telemetry
+        counter) makes the truncation observable instead of silent.
+        """
+        return self._noise_clips
+
+    @property
     def is_deterministic(self) -> bool:
-        """True when launches are noise-free (batch path available)."""
+        """True when launches are noise-free.
+
+        Both paths work either way — with launch-keyed noise the batch
+        path serves noisy platforms too — but noise-free platforms skip
+        the draw entirely.
+        """
         return self._noise == 0
+
+    def _record_clips(self, spec: KernelSpec, count: int) -> None:
+        """Account noise draws clipped at the floor (see noise_clip_count)."""
+        if count <= 0:
+            return
+        self._noise_clips += count
+        if self._telemetry.enabled:
+            self._telemetry.metrics.counter(
+                "noise_floor_clips_total",
+                "noise draws clipped at the multiplier floor",
+            ).inc(count, kernel=spec.name)
 
     def baseline_config(self) -> HardwareConfig:
         """The shipping PowerTune operating point.
@@ -106,8 +164,18 @@ class HardwarePlatform:
 
     # --- main entry ------------------------------------------------------------
 
-    def run_kernel(self, spec: KernelSpec, config: HardwareConfig) -> KernelRunResult:
+    def run_kernel(self, spec: KernelSpec, config: HardwareConfig,
+                   iteration: int = 0) -> KernelRunResult:
         """Launch ``spec`` at ``config`` and measure it.
+
+        Args:
+            spec: the kernel to launch.
+            config: the hardware configuration to launch at.
+            iteration: the application iteration of this launch — a key
+                component of the noise draw, so repeated launches of the
+                same kernel across iterations see independent noise while
+                the *same* launch always sees the same multiplier. Ignored
+                on a noise-free platform.
 
         Raises:
             ConfigurationError: if ``config`` is off the platform grid.
@@ -117,7 +185,12 @@ class HardwarePlatform:
 
         time = output.time
         if self._noise > 0:
-            time *= max(0.05, 1.0 + float(self._rng.normal(0.0, self._noise)))
+            multiplier, clipped = self._noise_model.multiplier_at(
+                spec, iteration, self._space.index_of(config)
+            )
+            time *= multiplier
+            if clipped:
+                self._record_clips(spec, 1)
 
         power = self._board.sample(
             config=config,
@@ -142,32 +215,39 @@ class HardwarePlatform:
         self,
         spec: KernelSpec,
         configs: Optional[Sequence[HardwareConfig]] = None,
+        iteration: int = 0,
     ) -> BatchRunResult:
         """Launch ``spec`` at many configurations in one vectorized pass.
 
-        Equivalent to calling :meth:`run_kernel` once per configuration on
-        a noise-free platform, but evaluated as NumPy array expressions
-        over the configuration axis — one model evaluation for the whole
-        grid instead of ~450 Python round trips.
+        Equivalent to calling :meth:`run_kernel` once per configuration,
+        but evaluated as NumPy array expressions over the configuration
+        axis — one model evaluation for the whole grid instead of ~450
+        Python round trips. On a noisy platform the deterministic surface
+        is evaluated once and the launch-keyed noise is applied as one
+        vectorized draw over the configuration axis; each element is
+        bitwise identical to the corresponding scalar launch.
 
         Args:
             spec: the kernel to evaluate.
             configs: configurations to evaluate, in order; defaults to the
                 platform's full configuration grid.
+            iteration: the application iteration keying the noise draws
+                (ignored on a noise-free platform).
 
         Raises:
-            ConfigurationError: if a configuration is off the platform grid,
-                or if the platform has measurement noise enabled — the
-                batch path is deterministic by contract (each scalar launch
-                draws a fresh noise sample from the platform RNG, which a
-                vectorized pass cannot reproduce; see docs/performance.md).
+            ConfigurationError: if a configuration is off the platform grid.
         """
+        batch = self._run_batch_clean(spec, configs)
         if self._noise > 0:
-            raise ConfigurationError(
-                "run_kernel_batch requires a noise-free platform "
-                f"(noise_std_fraction={self._noise}); use run_kernel for "
-                "noisy measurements"
-            )
+            batch = self._perturb(batch, spec, iteration)
+        return batch
+
+    def _run_batch_clean(
+        self,
+        spec: KernelSpec,
+        configs: Optional[Sequence[HardwareConfig]] = None,
+    ) -> BatchRunResult:
+        """The deterministic (noise-free) batch surface."""
         if configs is None:
             configs = tuple(self._space)
         else:
@@ -195,6 +275,21 @@ class HardwarePlatform:
             other_power=self._board.other_power,
         )
 
+    def _perturb(self, batch: BatchRunResult, spec: KernelSpec,
+                 iteration: int) -> BatchRunResult:
+        """Apply the launch-keyed noise to a clean batch surface."""
+        multipliers, clipped = self._noise_model.multipliers_for(
+            spec, iteration
+        )
+        if self._grid_index is None:
+            self._grid_index = {c: i for i, c in enumerate(self._space)}
+        lookup = self._grid_index
+        indices = np.array(
+            [lookup[c] for c in batch.configs], dtype=np.intp
+        )
+        self._record_clips(spec, int(np.count_nonzero(clipped[indices])))
+        return batch.with_time_multipliers(multipliers[indices])
+
     def sweep_cache_key(self, spec: KernelSpec) -> Hashable:
         """The shared-cache key of this platform's full-grid sweep of
         ``spec``: calibration, kernel and grid axes, all by value."""
@@ -209,7 +304,8 @@ class HardwarePlatform:
         )
 
     def grid_sweep(
-        self, spec: KernelSpec, cache: Optional[SweepCache] = None
+        self, spec: KernelSpec, cache: Optional[SweepCache] = None,
+        iteration: int = 0,
     ) -> BatchRunResult:
         """Full-grid batch evaluation of ``spec`` through the sweep cache.
 
@@ -217,35 +313,43 @@ class HardwarePlatform:
         characterization, analysis sweeps) go through this entry so one
         kernel's 450-point surface is computed once per process and shared.
 
+        Only the *deterministic* surface is ever cached; on a noisy
+        platform the launch-keyed noise is applied after the cache lookup
+        as a vectorized draw (cache-then-perturb), so noisy consumers get
+        both the cache's amortization and fresh, correctly keyed noise —
+        no frozen realization can be served.
+
         Args:
             spec: the kernel to evaluate.
             cache: the cache to consult; defaults to the process-wide
                 :func:`~repro.platform.sweepcache.shared_cache`.
-
-        Raises:
-            ConfigurationError: if the platform has noise enabled (noisy
-                surfaces must not be cached — they would freeze one noise
-                realization; see :meth:`run_kernel_batch`).
+            iteration: the application iteration keying the noise draws
+                (ignored on a noise-free platform).
         """
         if cache is None:
             cache = shared_cache()
-        return cache.get_or_compute(
+        batch = cache.get_or_compute(
             self.sweep_cache_key(spec),
-            lambda: self.run_kernel_batch(spec),
+            lambda: self._run_batch_clean(spec),
         )
+        if self._noise > 0:
+            batch = self._perturb(batch, spec, iteration)
+        return batch
 
 
 def make_hd7970_platform(noise_std_fraction: float = 0.0,
                          seed: int = 0,
-                         memory_voltage_scaling: bool = False) -> HardwarePlatform:
+                         memory_voltage_scaling: bool = False,
+                         telemetry=None) -> HardwarePlatform:
     """Convenience constructor for the default-calibrated test bed.
 
     Args:
         noise_std_fraction: run-to-run execution-time noise fraction.
-        seed: RNG seed for the noise.
+        seed: key seed for the launch-keyed noise.
         memory_voltage_scaling: enable the Section 7.2 what-if — scale the
             memory bus voltage with its frequency (the paper's platform
             could not; enabling it makes memory-side savings larger).
+        telemetry: optional telemetry handle (noise-clip counter).
     """
     calibration = default_calibration()
     if memory_voltage_scaling:
@@ -256,6 +360,7 @@ def make_hd7970_platform(noise_std_fraction: float = 0.0,
         calibration=calibration,
         noise_std_fraction=noise_std_fraction,
         seed=seed,
+        telemetry=telemetry,
     )
 
 

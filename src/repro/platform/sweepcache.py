@@ -18,11 +18,13 @@ keying is *by value*: two platforms built from the same calibration share
 entries, and changing any calibration constant, kernel characteristic or
 grid axis naturally misses — no explicit invalidation protocol is needed.
 
-Results for **noisy** platforms (``noise_std_fraction > 0``) must never be
-cached: their scalar path draws from an RNG per launch, so a cached surface
-would freeze one particular noise realization. The platform enforces this
-by refusing batched evaluation when noise is enabled (see
-:meth:`repro.platform.hd7970.HardwarePlatform.run_kernel_batch`).
+Only **deterministic** surfaces are cached. Noisy platforms still use the
+cache: :meth:`repro.platform.hd7970.HardwarePlatform.grid_sweep` looks up
+(or computes) the noise-free surface and applies the launch-keyed noise
+*after* the lookup as a vectorized draw (cache-then-perturb, see
+:mod:`repro.platform.noise`), so no particular noise realization is ever
+frozen into an entry and every consumer's draws stay keyed by
+``(seed, spec, iteration, config)``.
 
 The cache is bounded (LRU) and thread-safe, because the parallel fan-out in
 :mod:`repro.runtime.parallel` evaluates several applications' kernels

@@ -12,11 +12,13 @@ next iteration", Section 5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.core.policy import LaunchContext, PowerPolicy
+from repro.errors import AnalysisError
 from repro.platform.hd7970 import HardwarePlatform
 from repro.runtime.metrics import RunMetrics, metrics_from_launches
+from repro.runtime.parallel import fan_out
 from repro.runtime.trace import LaunchRecord, RunTrace
 from repro.telemetry.events import KernelLaunch
 from repro.telemetry.handle import coalesce
@@ -79,7 +81,8 @@ class ApplicationRunner:
                 kernel_name=kernel.name, iteration=iteration, spec=spec
             )
             config = policy.config_for(context)
-            result = self._platform.run_kernel(spec, config)
+            result = self._platform.run_kernel(spec, config,
+                                               iteration=iteration)
             policy.observe(context, result)
             trace.append(LaunchRecord(
                 iteration=iteration, kernel_name=kernel.name, result=result
@@ -104,7 +107,8 @@ class ApplicationRunner:
             with tel.time("policy.config_for"):
                 config = policy.config_for(context)
             with tel.time("platform.run_kernel"):
-                result = self._platform.run_kernel(spec, config)
+                result = self._platform.run_kernel(spec, config,
+                                                   iteration=iteration)
             with tel.time("policy.observe"):
                 policy.observe(context, result)
             trace.append(LaunchRecord(
@@ -132,17 +136,62 @@ class ApplicationRunner:
             metrics=metrics_from_launches(launches),
         )
 
-    def run_matrix(self, applications: Sequence[Application],
-                   policies: Sequence[PowerPolicy]) -> Dict[str, Dict[str, RunResult]]:
-        """Run every application under every policy.
+    def run_matrix(
+        self,
+        applications: Sequence[Application],
+        policies: Optional[Sequence[PowerPolicy]] = None,
+        jobs: int = 1,
+        policy_factories: Optional[Sequence[Callable[[], PowerPolicy]]] = None,
+    ) -> Dict[str, Dict[str, RunResult]]:
+        """Run every application under every policy, fanned out per app.
+
+        Applications are independent work items, so the matrix goes
+        through :func:`~repro.runtime.parallel.fan_out` — the same
+        serial-exact pattern as :meth:`~repro.analysis.evaluation.
+        EvaluationHarness.evaluate_parallel`. With ``jobs > 1`` pass
+        ``policy_factories`` instead of instances: stateful policies
+        (:class:`~repro.core.policy.HistoryMixin`) must not be shared
+        across concurrent applications, and a fresh instance per
+        application is equivalent to a reset one, so the results are
+        identical to the serial nested loop for any job count.
+
+        Args:
+            applications: workloads to run.
+            policies: policy instances, run serially per application
+                (mutually exclusive with ``policy_factories``).
+            jobs: maximum concurrent application runs.
+            policy_factories: zero-argument constructors of fresh policy
+                instances, one policy set per application.
 
         Returns:
             ``results[application_name][policy_name] -> RunResult``.
+
+        Raises:
+            AnalysisError: if neither or both of ``policies`` /
+                ``policy_factories`` are given, or if ``jobs > 1`` is
+                requested with shared policy instances.
         """
-        results: Dict[str, Dict[str, RunResult]] = {}
-        for application in applications:
+        if (policies is None) == (policy_factories is None):
+            raise AnalysisError(
+                "run_matrix needs exactly one of policies or policy_factories"
+            )
+        if policy_factories is None:
+            if jobs > 1:
+                raise AnalysisError(
+                    "run_matrix(jobs>1) requires policy_factories: stateful "
+                    "policies must not be shared across worker threads"
+                )
+            policy_factories = [(lambda p=p: p) for p in policies]
+
+        def run_app(application: Application) -> Dict[str, RunResult]:
             per_app: Dict[str, RunResult] = {}
-            for policy in policies:
+            for factory in policy_factories:
+                policy = factory()
                 per_app[policy.name] = self.run(application, policy)
-            results[application.name] = per_app
-        return results
+            return per_app
+
+        outcomes = fan_out(run_app, applications, jobs=jobs)
+        return {
+            application.name: per_app
+            for application, per_app in zip(applications, outcomes)
+        }

@@ -82,18 +82,16 @@ def measure_sensitivities(platform: HardwarePlatform,
     space = platform.config_space
     top = space.max_config()
 
-    if platform.is_deterministic:
-        # The corner launches are grid points of the kernel's full sweep
-        # surface, which other consumers (oracle, characterization,
-        # analysis sweeps) need anyway — read them off the shared cached
-        # batch evaluation instead of re-launching.
-        surface = platform.grid_sweep(spec)
+    # The corner launches are grid points of the kernel's full sweep
+    # surface, which other consumers (oracle, characterization, analysis
+    # sweeps) need anyway — read them off the shared cached batch
+    # evaluation instead of re-launching. Noisy platforms read the same
+    # surface: launch-keyed noise is applied after the cache lookup, so
+    # each corner sees exactly the draw a per-launch call would.
+    surface = platform.grid_sweep(spec)
 
-        def run_time(config: HardwareConfig) -> float:
-            return surface.time_at(config)
-    else:
-        def run_time(config: HardwareConfig) -> float:
-            return platform.run_kernel(spec, config).time
+    def run_time(config: HardwareConfig) -> float:
+        return surface.time_at(config)
 
     t_top = run_time(top)
 

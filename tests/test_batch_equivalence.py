@@ -4,8 +4,9 @@ The vectorized batch path (``run_kernel_batch``) mirrors the scalar
 arithmetic operation for operation, so its results must match per-launch
 evaluation exactly — not merely approximately — for every registered
 kernel on both calibrations. These tests pin that contract, plus the
-documented noise semantics: batch evaluation is deterministic by contract
-and refuses noisy platforms.
+documented noise semantics: the launch-keyed noise model gives the batch
+path the exact per-launch draws of the scalar path, so noisy batch and
+noisy scalar agree bitwise too.
 """
 
 from __future__ import annotations
@@ -102,19 +103,22 @@ def test_empty_batch_rejected(fresh_platform):
         fresh_platform.run_kernel_batch(spec, [])
 
 
-def test_noisy_platform_refuses_batch():
-    """Documented noise semantics: the batch path is deterministic only."""
+def test_noisy_batch_matches_scalar_bitwise():
+    """Launch-keyed noise: noisy batch == noisy scalar, bit for bit."""
     noisy = make_hd7970_platform(noise_std_fraction=0.05, seed=7)
     assert not noisy.is_deterministic
     spec = all_kernels()[0].base
-    with pytest.raises(ConfigurationError):
-        noisy.run_kernel_batch(spec)
-    with pytest.raises(ConfigurationError):
-        noisy.grid_sweep(spec)
+    configs = tuple(noisy.config_space)[::17]
+    for iteration in (0, 3):
+        batch = noisy.run_kernel_batch(spec, configs, iteration=iteration)
+        for i, config in enumerate(configs):
+            scalar = noisy.run_kernel(spec, config, iteration=iteration)
+            assert scalar.time == float(batch.time[i])
+            assert scalar.energy == float(batch.energy[i])
 
 
-def test_noisy_sweep_falls_back_to_scalar():
-    """ConfigSweep still works (scalar, per-launch noise) on noisy rigs."""
+def test_noisy_sweep_runs_through_batch():
+    """ConfigSweep takes the batched path on noisy rigs, draws included."""
     noisy = make_hd7970_platform(noise_std_fraction=0.05, seed=7)
     clean = make_hd7970_platform()
     spec = all_kernels()[0].base
@@ -127,3 +131,18 @@ def test_noisy_sweep_falls_back_to_scalar():
         if a.time != b.time
     )
     assert diffs > len(clean_sweep) // 2
+    # And each point carries exactly the scalar launch's draw.
+    for point in noisy_sweep.points[::61]:
+        scalar = noisy.run_kernel(spec, point.config)
+        assert point.time == scalar.time
+
+
+def test_noisy_batch_is_iteration_keyed():
+    """Different iterations draw different multipliers; same repeats."""
+    noisy = make_hd7970_platform(noise_std_fraction=0.05, seed=7)
+    spec = all_kernels()[0].base
+    first = noisy.run_kernel_batch(spec, iteration=0)
+    again = noisy.run_kernel_batch(spec, iteration=0)
+    other = noisy.run_kernel_batch(spec, iteration=1)
+    np.testing.assert_array_equal(first.time, again.time)
+    assert np.any(first.time != other.time)

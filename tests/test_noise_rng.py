@@ -1,0 +1,171 @@
+"""The stateless launch-keyed noise RNG: determinism under any execution.
+
+The tentpole contract: a launch's noise multiplier is a pure function of
+``(platform seed, kernel spec, iteration, config)``. These tests pin the
+consequences — draws are bitwise reproducible regardless of launch order,
+interleaving, thread fan-out, or sweep-cache state — plus the documented
+clamp floor and its clip accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.platform.hd7970 import make_hd7970_platform
+from repro.platform.noise import NOISE_FLOOR, LaunchKeyedNoise, spec_entropy
+from repro.platform.sweepcache import SweepCache
+from repro.runtime.simulator import ApplicationRunner
+from repro.workloads.registry import all_kernels, get_application
+
+SPEC = all_kernels()[0].base
+OTHER = all_kernels()[1].base
+
+
+class TestLaunchKeyedNoise:
+    def test_spec_entropy_is_stable_and_distinct(self):
+        assert spec_entropy(SPEC) == spec_entropy(SPEC)
+        assert spec_entropy(SPEC) != spec_entropy(OTHER)
+
+    def test_draws_are_pure_functions_of_the_key(self):
+        a = LaunchKeyedNoise(0.05, seed=3, grid_size=10)
+        b = LaunchKeyedNoise(0.05, seed=3, grid_size=10)
+        m_a, _ = a.multipliers_for(SPEC, 4)
+        m_b, _ = b.multipliers_for(SPEC, 4)
+        np.testing.assert_array_equal(m_a, m_b)
+
+    def test_each_key_component_matters(self):
+        model = LaunchKeyedNoise(0.05, seed=3, grid_size=10)
+        base, _ = model.multipliers_for(SPEC, 0)
+        other_iter, _ = model.multipliers_for(SPEC, 1)
+        other_spec, _ = model.multipliers_for(OTHER, 0)
+        other_seed, _ = LaunchKeyedNoise(0.05, 4, 10).multipliers_for(SPEC, 0)
+        assert np.any(base != other_iter)
+        assert np.any(base != other_spec)
+        assert np.any(base != other_seed)
+
+    def test_scalar_indexes_the_batch_vector(self):
+        model = LaunchKeyedNoise(0.05, seed=3, grid_size=10)
+        vector, clipped = model.multipliers_for(SPEC, 2)
+        for i in range(10):
+            value, clip = model.multiplier_at(SPEC, 2, i)
+            assert value == vector[i]
+            assert clip == clipped[i]
+
+    def test_clamp_floor(self):
+        # Heavy noise: some raw draws land below the floor and get clamped.
+        model = LaunchKeyedNoise(2.0, seed=0, grid_size=2048)
+        multipliers, clipped = model.multipliers_for(SPEC, 0)
+        assert np.any(clipped)
+        assert np.all(multipliers >= NOISE_FLOOR)
+        assert np.all(multipliers[clipped] == NOISE_FLOOR)
+
+    def test_negative_iteration_rejected(self):
+        model = LaunchKeyedNoise(0.05, seed=3, grid_size=10)
+        with pytest.raises(ValueError):
+            model.multipliers_for(SPEC, -1)
+
+
+class TestExecutionOrderInvariance:
+    def test_launch_order_does_not_matter(self):
+        launches = [
+            (spec, config, iteration)
+            for spec in (SPEC, OTHER)
+            for iteration in (0, 1, 2)
+            for config in tuple(make_hd7970_platform().config_space)[::97]
+        ]
+        forward = make_hd7970_platform(noise_std_fraction=0.05, seed=9)
+        reverse = make_hd7970_platform(noise_std_fraction=0.05, seed=9)
+        times_fwd = {
+            key: forward.run_kernel(key[0], key[1], iteration=key[2]).time
+            for key in launches
+        }
+        times_rev = {
+            key: reverse.run_kernel(key[0], key[1], iteration=key[2]).time
+            for key in reversed(launches)
+        }
+        assert times_fwd == times_rev
+
+    def test_interleaving_scalar_and_batch_does_not_matter(self):
+        scalar_first = make_hd7970_platform(noise_std_fraction=0.05, seed=9)
+        batch_first = make_hd7970_platform(noise_std_fraction=0.05, seed=9)
+        config = scalar_first.baseline_config()
+
+        t_scalar = scalar_first.run_kernel(SPEC, config).time
+        b_after = scalar_first.run_kernel_batch(SPEC)
+
+        b_first = batch_first.run_kernel_batch(SPEC)
+        t_after = batch_first.run_kernel(SPEC, config).time
+
+        assert t_scalar == t_after
+        np.testing.assert_array_equal(b_after.time, b_first.time)
+
+    def test_jobs_fanout_does_not_matter(self):
+        applications = [get_application("MaxFlops"), get_application("BPT")]
+
+        def run_matrix(jobs):
+            platform = make_hd7970_platform(noise_std_fraction=0.05, seed=9)
+            runner = ApplicationRunner(platform)
+            from repro.core.baseline import BaselinePolicy
+            return runner.run_matrix(
+                applications,
+                policy_factories=[
+                    lambda: BaselinePolicy(platform.config_space)
+                ],
+                jobs=jobs,
+            )
+
+        serial = run_matrix(1)
+        fanned = run_matrix(4)
+        for app in serial:
+            for policy in serial[app]:
+                a = serial[app][policy].metrics
+                b = fanned[app][policy].metrics
+                assert a.time == b.time
+                assert a.energy == b.energy
+
+    def test_cache_state_does_not_matter(self):
+        # Miss path: a fresh cache computes the clean surface.
+        cold = make_hd7970_platform(noise_std_fraction=0.05, seed=9)
+        cold_cache = SweepCache()
+        miss = cold.grid_sweep(SPEC, cache=cold_cache, iteration=1)
+        assert cold_cache.stats == (0, 1)
+
+        # Hit path: a pre-warmed cache serves the same clean surface.
+        warm = make_hd7970_platform(noise_std_fraction=0.05, seed=9)
+        warm_cache = SweepCache()
+        warm.grid_sweep(SPEC, cache=warm_cache, iteration=0)
+        hit = warm.grid_sweep(SPEC, cache=warm_cache, iteration=1)
+        assert warm_cache.stats == (1, 1)
+
+        np.testing.assert_array_equal(miss.time, hit.time)
+        np.testing.assert_array_equal(miss.energy, hit.energy)
+
+
+class TestClipAccounting:
+    def test_scalar_and_batch_count_the_same_clips(self):
+        scalar = make_hd7970_platform(noise_std_fraction=2.0, seed=1)
+        batch = make_hd7970_platform(noise_std_fraction=2.0, seed=1)
+        configs = tuple(scalar.config_space)
+        for config in configs:
+            scalar.run_kernel(SPEC, config)
+        batch.run_kernel_batch(SPEC, configs)
+        assert scalar.noise_clip_count == batch.noise_clip_count > 0
+
+    def test_clips_feed_the_telemetry_counter(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        platform = make_hd7970_platform(noise_std_fraction=2.0, seed=1,
+                                        telemetry=telemetry)
+        platform.run_kernel_batch(SPEC)
+        counter = telemetry.metrics.counter("noise_floor_clips_total")
+        assert counter.value(kernel=SPEC.name) == platform.noise_clip_count
+        assert platform.noise_clip_count > 0
+
+    def test_clean_platform_never_clips(self):
+        platform = make_hd7970_platform()
+        platform.run_kernel(SPEC, platform.baseline_config())
+        platform.run_kernel_batch(SPEC)
+        assert platform.noise_clip_count == 0

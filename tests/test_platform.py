@@ -44,21 +44,42 @@ class TestFacade:
 
 class TestNoise:
     def test_noise_perturbs_time(self):
+        clean = HardwarePlatform()
         noisy = HardwarePlatform(noise_std_fraction=0.02, seed=11)
-        a = noisy.run_kernel(SPEC, noisy.baseline_config())
+        a = clean.run_kernel(SPEC, clean.baseline_config())
         b = noisy.run_kernel(SPEC, noisy.baseline_config())
         assert a.time != b.time
+
+    def test_noise_is_launch_keyed(self):
+        # Stateless keyed RNG: the same launch always draws the same
+        # multiplier; distinct iterations and configs draw fresh ones.
+        noisy = HardwarePlatform(noise_std_fraction=0.02, seed=11)
+        config = noisy.baseline_config()
+        a = noisy.run_kernel(SPEC, config, iteration=0)
+        b = noisy.run_kernel(SPEC, config, iteration=0)
+        assert a.time == b.time
+        c = noisy.run_kernel(SPEC, config, iteration=1)
+        assert c.time != a.time
+        d = noisy.run_kernel(SPEC, config.replace(n_cu=24), iteration=0)
+        assert d.time != a.time
 
     def test_noise_is_seeded(self):
         a = HardwarePlatform(noise_std_fraction=0.02, seed=11)
         b = HardwarePlatform(noise_std_fraction=0.02, seed=11)
-        assert a.run_kernel(SPEC, a.baseline_config()).time == \
-            b.run_kernel(SPEC, b.baseline_config()).time
+        c = HardwarePlatform(noise_std_fraction=0.02, seed=12)
+        t_a = a.run_kernel(SPEC, a.baseline_config()).time
+        assert t_a == b.run_kernel(SPEC, b.baseline_config()).time
+        assert t_a != c.run_kernel(SPEC, c.baseline_config()).time
 
     def test_noise_keeps_time_positive(self):
         noisy = HardwarePlatform(noise_std_fraction=0.8, seed=5)
-        for _ in range(50):
-            assert noisy.run_kernel(SPEC, noisy.baseline_config()).time > 0
+        for iteration in range(50):
+            result = noisy.run_kernel(SPEC, noisy.baseline_config(),
+                                      iteration=iteration)
+            assert result.time > 0
+        # At 80% noise some draws must have hit the documented floor and
+        # been counted.
+        assert noisy.noise_clip_count > 0
 
     def test_negative_noise_rejected(self):
         with pytest.raises(ValueError):
