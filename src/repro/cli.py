@@ -52,6 +52,37 @@ _FIGURES: Dict[str, str] = {
 _POLICIES = ("baseline", "harmonia", "cg-only", "dvfs-only", "oracle")
 
 
+def _attach_store(args: argparse.Namespace, telemetry=None):
+    """Attach the persistent sweep store behind the shared cache.
+
+    Every sweeping subcommand calls this first: unless ``--no-cache`` was
+    given, deterministic grid surfaces are served from (and written
+    through to) the content-addressed store under ``--cache-dir`` /
+    ``$REPRO_CACHE_DIR`` / ``~/.cache/repro-harmonia``, so repeated CLI
+    invocations warm-start across processes. An unusable store directory
+    degrades to memory-only operation with a warning — the store is an
+    accelerator, never a requirement.
+    """
+    from repro.platform.sweepcache import shared_cache
+
+    cache = shared_cache()
+    if getattr(args, "no_cache", False):
+        cache.detach_store()
+        return None
+    from repro.platform.store import SweepStore, resolve_store_dir
+
+    root = resolve_store_dir(getattr(args, "cache_dir", None))
+    try:
+        store = SweepStore(root, telemetry=telemetry)
+    except OSError as error:
+        print(f"warning: sweep store disabled ({root}: {error})",
+              file=sys.stderr)
+        cache.detach_store()
+        return None
+    cache.attach_store(store)
+    return store
+
+
 def _build_policy(context: ExperimentContext, name: str, telemetry=None):
     if name in ("baseline", "oracle"):
         # These comparators take no decisions worth tracing; runner-level
@@ -106,6 +137,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.trace:
             sink = JsonlSink(args.trace)
             telemetry.add_sink(sink)
+    _attach_store(args, telemetry=telemetry)
 
     policy = _build_policy(context, args.policy, telemetry=telemetry)
     baseline = context.baseline_policy()
@@ -144,6 +176,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                   f"{sink.path}\n(summarize with: python -m repro "
                   f"telemetry-report {sink.path})")
         if args.metrics_out:
+            from repro.platform.sweepcache import shared_cache
+            shared_cache().publish(telemetry)
             telemetry.metrics.write_json(args.metrics_out)
             print(f"metrics written to {args.metrics_out}")
         if args.profile:
@@ -156,7 +190,8 @@ def cmd_telemetry_report(args: argparse.Namespace) -> int:
     """Summarize a JSONL telemetry trace."""
     from repro.errors import TelemetryError
     from repro.telemetry.export import load_events
-    from repro.telemetry.report import format_report, summarize
+    from repro.telemetry.report import (
+        cache_effectiveness_from_metrics, format_report, summarize)
 
     try:
         events = load_events(args.trace)
@@ -170,6 +205,19 @@ def cmd_telemetry_report(args: argparse.Namespace) -> int:
         print(f"trace {args.trace} holds no events", file=sys.stderr)
         return 2
     print(format_report(summarize(events)))
+    if args.metrics:
+        import json
+        try:
+            with open(args.metrics) as handle:
+                metrics = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"unreadable metrics file {args.metrics}: {error}",
+                  file=sys.stderr)
+            return 2
+        line = cache_effectiveness_from_metrics(metrics)
+        print()
+        print(line if line is not None
+              else "sweep cache: no series in the metrics export")
     return 0
 
 
@@ -177,6 +225,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     """Print the Figures 10-13 headline evaluation."""
     from repro.experiments import fig10_13_evaluation
 
+    _attach_store(args)
     context = ExperimentContext(jobs=args.jobs)
     result = fig10_13_evaluation.run(context)
     print(fig10_13_evaluation.format_report(result))
@@ -194,6 +243,7 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
     """Repeated-trial Monte Carlo bands for one policy vs the baseline."""
     from repro.analysis.evaluation import EvaluationHarness
 
+    _attach_store(args)
     context = ExperimentContext(jobs=args.jobs)
     if args.apps:
         unknown = [a for a in args.apps if a not in application_names()]
@@ -261,6 +311,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
     """Regenerate one paper table/figure."""
     import importlib
 
+    _attach_store(args)
     key = args.name.lower()
     if key in ("fig10", "fig11", "fig12", "fig13"):
         from repro.experiments import fig10_13_evaluation as module
@@ -293,6 +344,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     """Design-space summary for one or more kernels."""
     from repro.runtime.parallel import fan_out
 
+    _attach_store(args)
     context = ExperimentContext()
     specs = []
     for name in args.kernels:
@@ -334,6 +386,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
     out_dir = pathlib.Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
+    store = _attach_store(args)
     context = ExperimentContext(jobs=args.jobs)
 
     # (report name, module, runner attr, formatter attr or callable)
@@ -392,6 +445,16 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
     print(f"\n{count} reports written to {out_dir} "
           f"in {time.time() - started:.1f}s")
+    from repro.platform.sweepcache import shared_cache
+    from repro.telemetry.report import format_cache_effectiveness
+    stats = shared_cache().stats()
+    store_stats = store.stats() if store is not None else None
+    print(format_cache_effectiveness(
+        stats.memory.hits, stats.memory.misses,
+        stats.store.hits, stats.store.misses,
+        bytes_read=store_stats.bytes_read if store_stats else 0,
+        bytes_written=store_stats.bytes_written if store_stats else 0,
+    ))
     return 0
 
 
@@ -403,10 +466,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared by every subcommand that evaluates sweep surfaces.
+    cache_p = argparse.ArgumentParser(add_help=False)
+    cache_p.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="persistent sweep-store directory (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro-harmonia)")
+    cache_p.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent sweep store (the "
+                              "in-process cache stays active)")
+
     sub.add_parser("list", help="list applications and kernels") \
         .set_defaults(func=cmd_list)
 
-    run_p = sub.add_parser("run", help="run one application under a policy")
+    run_p = sub.add_parser("run", help="run one application under a policy",
+                           parents=[cache_p])
     run_p.add_argument("app", help="application name (see: list)")
     run_p.add_argument("--policy", choices=_POLICIES, default="harmonia")
     run_p.add_argument("--trace", metavar="PATH", default=None,
@@ -425,9 +498,13 @@ def build_parser() -> argparse.ArgumentParser:
              "residency, top kernels)",
     )
     report_p.add_argument("trace", help="path to a --trace JSONL file")
+    report_p.add_argument("--metrics", metavar="PATH", default=None,
+                          help="also summarize sweep-cache effectiveness "
+                               "from a --metrics-out JSON export")
     report_p.set_defaults(func=cmd_telemetry_report)
 
-    eval_p = sub.add_parser("evaluate", help="the Figures 10-13 headline")
+    eval_p = sub.add_parser("evaluate", help="the Figures 10-13 headline",
+                            parents=[cache_p])
     eval_p.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="evaluate applications on up to N threads "
                              "(results are identical for any N)")
@@ -442,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
     mc_p = sub.add_parser(
         "montecarlo",
         help="repeated-trial noise bands for one policy vs the baseline",
+        parents=[cache_p],
     )
     mc_p.add_argument("apps", nargs="*", metavar="app",
                       help="application name(s); default: all fourteen")
@@ -455,11 +533,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="evaluate applications on up to N threads")
     mc_p.set_defaults(func=cmd_montecarlo)
 
-    fig_p = sub.add_parser("figure", help="regenerate one table/figure")
+    fig_p = sub.add_parser("figure", help="regenerate one table/figure",
+                           parents=[cache_p])
     fig_p.add_argument("name", help="e.g. fig10, table1, ext-thermal")
     fig_p.set_defaults(func=cmd_figure)
 
-    sweep_p = sub.add_parser("sweep", help="design-space summary of kernels")
+    sweep_p = sub.add_parser("sweep", help="design-space summary of kernels",
+                             parents=[cache_p])
     sweep_p.add_argument("kernels", nargs="+", metavar="kernel",
                          help="qualified name(s), e.g. Sort.BottomScan")
     sweep_p.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -467,7 +547,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.set_defaults(func=cmd_sweep)
 
     repro_p = sub.add_parser(
-        "reproduce", help="regenerate every table/figure report"
+        "reproduce", help="regenerate every table/figure report",
+        parents=[cache_p],
     )
     repro_p.add_argument("--output", default="reports",
                          help="output directory (default: ./reports)")

@@ -84,13 +84,12 @@ def _curve(platform, spec, tunable: str) -> ScalingCurve:
     else:
         values = space.memory_frequencies
         configs = [top.replace(f_mem=v) for v in values]
-    if platform.is_deterministic:
-        # Every curve point is a grid point of the kernel's sweep surface,
-        # which measure_sensitivities already pulled into the shared cache.
-        surface = platform.grid_sweep(spec)
-        times = [surface.time_at(config) for config in configs]
-    else:
-        times = [platform.run_kernel(spec, config).time for config in configs]
+    # Every curve point is a grid point of the kernel's sweep surface,
+    # which measure_sensitivities already pulled into the shared cache.
+    # Noisy platforms are served too: the launch-keyed draws applied
+    # after the cache lookup match the scalar path bitwise.
+    surface = platform.grid_sweep(spec)
+    times = [surface.time_at(config) for config in configs]
     reference = 1.0 / times[-1]
     points = tuple(
         (float(value), (1.0 / t) / reference)

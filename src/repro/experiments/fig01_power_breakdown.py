@@ -47,7 +47,11 @@ def run(context: ExperimentContext = None) -> PowerBreakdownResult:
     context = context or default_context()
     platform = context.platform
     kernel = get_kernel("XSBench.CalculateXS").base
-    result = platform.run_kernel(kernel, platform.baseline_config())
+    # Power samples are noise-free, so the cached sweep surface serves
+    # this point identically to a scalar run.
+    result = platform.grid_sweep(kernel).result_at_config(
+        platform.baseline_config()
+    )
     return PowerBreakdownResult(
         workload=kernel.name,
         gpu_power=result.power.gpu,

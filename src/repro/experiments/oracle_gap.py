@@ -32,7 +32,6 @@ from repro.experiments.context import ExperimentContext, default_context
 from repro.gpu.config import HardwareConfig
 from repro.perf.kernelspec import KernelSpec
 from repro.platform.hd7970 import HardwarePlatform
-from repro.runtime.metrics import ed2
 from repro.runtime.simulator import ApplicationRunner
 
 
@@ -59,29 +58,16 @@ class PerfConstrainedOracle(HistoryMixin):
         """ED²-optimal config among those within the perf tolerance."""
         if spec in self._cache:
             return self._cache[spec]
-        if self._platform.is_deterministic:
-            # Constrained argmin over the shared cached sweep surface.
-            surface = self._platform.grid_sweep(spec)
-            limit = (surface.time_at(self._platform.baseline_config())
-                     * (1.0 + self._tolerance))
-            metric = np.where(surface.time <= limit, surface.ed2, np.inf)
-            best_config = surface.configs[int(np.argmin(metric))]
-        else:
-            baseline = self._platform.run_kernel(
-                spec, self._platform.baseline_config()
-            )
-            limit = baseline.time * (1.0 + self._tolerance)
-            best_config = None
-            best_metric = float("inf")
-            for config in self._platform.config_space:
-                result = self._platform.run_kernel(spec, config)
-                if result.time > limit:
-                    continue
-                metric = ed2(result.energy, result.time)
-                if metric < best_metric:
-                    best_metric = metric
-                    best_config = config
-            assert best_config is not None  # the baseline itself qualifies
+        # Constrained argmin over the shared cached sweep surface. This
+        # serves noisy platforms too: the launch-keyed draws applied after
+        # the cache lookup make every element bitwise identical to a
+        # scalar run_kernel call, and np.argmin returns the first minimum
+        # in grid order — the same config a strict-< scalar loop keeps.
+        surface = self._platform.grid_sweep(spec)
+        limit = (surface.time_at(self._platform.baseline_config())
+                 * (1.0 + self._tolerance))
+        metric = np.where(surface.time <= limit, surface.ed2, np.inf)
+        best_config = surface.configs[int(np.argmin(metric))]
         self._cache[spec] = best_config
         return best_config
 

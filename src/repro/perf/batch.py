@@ -145,6 +145,7 @@ class BatchRunResult:
         #: per-configuration card energy (J)
         self.energy = self.card_power * self.time
         self._index: Optional[Dict[HardwareConfig, int]] = None
+        self._result_cache: Dict[int, "KernelRunResult"] = {}
 
     def __len__(self) -> int:
         return len(self.configs)
@@ -190,6 +191,7 @@ class BatchRunResult:
         clone = copy.copy(self)
         clone.time = self.time * multipliers
         clone.energy = clone.card_power * clone.time
+        clone._result_cache = {}  # times differ: never share scalar results
         return clone
 
     # --- lookups -------------------------------------------------------------
@@ -214,7 +216,16 @@ class BatchRunResult:
         return float(self.time[self.index_of(config)])
 
     def result_at(self, index: int) -> KernelRunResult:
-        """Reconstruct the scalar :class:`KernelRunResult` of one config."""
+        """Reconstruct the scalar :class:`KernelRunResult` of one config.
+
+        Reconstructions are memoized per index: the runner re-launches
+        the same kernel at the same configuration every application
+        iteration, and the results are immutable value objects, so
+        repeated launches share one instance.
+        """
+        cached = self._result_cache.get(index)
+        if cached is not None:
+            return cached
         breakdown = TimeBreakdown(
             compute=float(self.compute_time[index]),
             memory=float(self.memory_time[index]),
@@ -226,7 +237,7 @@ class BatchRunResult:
             memory=float(self.memory_power[index]),
             other=self.other_power,
         )
-        return KernelRunResult(
+        result = KernelRunResult(
             kernel_name=self.kernel_name,
             config=self.configs[index],
             time=float(self.time[index]),
@@ -237,6 +248,8 @@ class BatchRunResult:
             occupancy=self.occupancy.occupancy,
             bandwidth_limit=self.bandwidth_limit[index],
         )
+        self._result_cache[index] = result
+        return result
 
     def result_at_config(self, config: HardwareConfig) -> KernelRunResult:
         """Scalar result at one configuration (by grid lookup)."""

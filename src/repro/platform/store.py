@@ -1,0 +1,505 @@
+"""Disk-backed, content-addressed store of deterministic sweep surfaces.
+
+The in-memory sweep cache (:mod:`repro.platform.sweepcache`) amortizes
+whole-grid surfaces *within* one process; this store amortizes them
+*across* processes — ``reproduce``, ``evaluate``, each benchmark and each
+CI shard warm-start from the surfaces the previous invocation computed.
+
+Keys are **content-addressed**: a record's filename is the SHA-256 digest
+of a canonical serialization of its key — the frozen
+:class:`~repro.platform.calibration.PlatformCalibration`, the frozen
+:class:`~repro.perf.kernelspec.KernelSpec`, and the grid axes, walked
+field by field with floats rendered via :meth:`float.hex` so the encoding
+is exact and stable across processes (Python's builtin ``hash()`` is
+salted per process and useless here). Changing *any* calibration
+constant, kernel characteristic, or grid axis changes the digest, so
+invalidation is by value: stale records are simply never addressed again.
+
+Records are ``.npz`` files: the surface arrays plus one JSON metadata
+entry carrying the schema version, the digest (self-check), and the
+config-invariant scalars encoded with ``float.hex`` for bitwise
+round-trips. Properties:
+
+* **atomic** — writes go to a unique tempfile in the store directory and
+  are published with :func:`os.replace`, so concurrent ``--jobs`` workers
+  and parallel CI shards never observe a torn record; racing writers of
+  the same key each publish a complete record and the last one wins
+  (contents are deterministic, so the duplicates are identical);
+* **self-validating** — corrupted, truncated or foreign-schema records
+  are treated as misses: the caller recomputes and rewrites, the store
+  never raises out of a read;
+* **deterministic only** — exclusively noise-free surfaces are persisted
+  (the cache-then-perturb contract keeps noise keyed on read).
+
+Only the store *layout* is defined here; the two-tier lookup policy lives
+in :class:`~repro.platform.sweepcache.SweepCache`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.config import HardwareConfig
+from repro.gpu.occupancy import OccupancyLimits, OccupancyResult
+from repro.perf.batch import BatchCounters, BatchModelOutput, BatchRunResult
+
+#: Bump whenever the record layout changes; older records then read as
+#: misses and are transparently recomputed and rewritten.
+STORE_SCHEMA_VERSION = 1
+
+#: Record kind of full-grid :class:`BatchRunResult` surfaces.
+GRID_KIND = "grid"
+
+#: Environment variable overriding the default store directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Row order of the stacked per-config float64 surfaces in a grid record.
+_GRID_ARRAYS = (
+    "time", "compute_time", "memory_time", "overlap_residue",
+    "achieved_bandwidth", "gpu_power", "memory_power",
+    "valu_busy", "mem_unit_busy", "mem_unit_stalled",
+    "write_unit_stalled", "ic_activity", "cfg_f_cu", "cfg_f_mem",
+)
+
+#: Config-invariant scalars kept in the JSON metadata via ``float.hex``.
+_GRID_SCALARS = (
+    "launch_overhead", "other_power", "valu_utilization", "norm_vgpr",
+    "norm_sgpr", "valu_insts_millions", "vfetch_insts_millions",
+    "vwrite_insts_millions",
+)
+
+
+def resolve_store_dir(override: Optional[str] = None) -> Path:
+    """The store directory: explicit override, else ``$REPRO_CACHE_DIR``,
+    else ``~/.cache/repro-harmonia``."""
+    if override:
+        return Path(override).expanduser()
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-harmonia"
+
+
+# --- canonical key serialization -------------------------------------------------
+
+
+def canonical_encode(value: Any) -> str:
+    """A stable, exact text rendering of a (nested) sweep-store key.
+
+    Frozen dataclasses render as ``ClassName(field=..., ...)`` in field
+    declaration order; floats render via :meth:`float.hex` (every bit
+    pattern gets a distinct, platform-independent spelling — ``repr``
+    round-trips too, but hex makes the exactness explicit); tuples/lists
+    recurse. ``hash()`` is deliberately avoided: it is salted per process
+    for strings and would not address the same record twice.
+
+    Raises:
+        TypeError: for values that have no canonical form (the key would
+            silently collide otherwise).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ", ".join(
+            f"{f.name}={canonical_encode(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({fields})"
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (tuple, list)):
+        return "(" + ", ".join(canonical_encode(item) for item in value) + ")"
+    if value is None:
+        return "null"
+    raise TypeError(
+        f"cannot canonically encode {type(value).__name__!r} in a store key"
+    )
+
+
+#: Digests of recently fingerprinted (hashable) keys. Encoding a key
+#: walks the whole calibration dataclass; a ``reproduce`` run addresses
+#: a hundred-plus records under a handful of calibrations, so the memo
+#: turns all but the first walk per key into a dict hit.
+_DIGEST_MEMO: Dict[Any, str] = {}
+
+
+def content_digest(key: Any) -> str:
+    """Hex SHA-256 fingerprint of a key's canonical serialization."""
+    try:
+        cached = _DIGEST_MEMO.get(key)
+    except TypeError:  # unhashable key (e.g. contains a list): no memo
+        return hashlib.sha256(
+            canonical_encode(key).encode("utf-8")).hexdigest()
+    if cached is None:
+        cached = hashlib.sha256(
+            canonical_encode(key).encode("utf-8")).hexdigest()
+        if len(_DIGEST_MEMO) >= 4096:
+            _DIGEST_MEMO.clear()
+        _DIGEST_MEMO[key] = cached
+    return cached
+
+
+# --- BatchRunResult <-> record ---------------------------------------------------
+
+
+def batch_to_record(
+    batch: BatchRunResult,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Serialize a deterministic grid surface to (arrays, metadata).
+
+    Only the independent surfaces are stored; derived quantities
+    (``card_power``, ``energy``, ``ed``/``ed2``) are recomputed by the
+    :class:`BatchRunResult` constructor on load with the same float
+    operations, so the round trip is bitwise identical.
+    """
+    counters = batch.counters
+    columns = {
+        "time": batch.time,
+        "compute_time": batch.compute_time,
+        "memory_time": batch.memory_time,
+        "overlap_residue": batch.overlap_residue,
+        "achieved_bandwidth": batch.achieved_bandwidth,
+        "gpu_power": batch.gpu_power,
+        "memory_power": batch.memory_power,
+        "valu_busy": counters.valu_busy,
+        "mem_unit_busy": counters.mem_unit_busy,
+        "mem_unit_stalled": counters.mem_unit_stalled,
+        "write_unit_stalled": counters.write_unit_stalled,
+        "ic_activity": counters.ic_activity,
+        "cfg_f_cu": np.array([c.f_cu for c in batch.configs],
+                             dtype=np.float64),
+        "cfg_f_mem": np.array([c.f_mem for c in batch.configs],
+                              dtype=np.float64),
+    }
+    # One stacked 2D array instead of 14 npz members: each member costs
+    # a zip entry plus a header parse on load, and record loads are the
+    # warm-start hot path. np.stack copies values verbatim, so the
+    # round trip stays bitwise.
+    arrays: Dict[str, np.ndarray] = {
+        "stack": np.stack([columns[name] for name in _GRID_ARRAYS]),
+        "cfg_n_cu": np.array([c.n_cu for c in batch.configs], dtype=np.int64),
+        "bandwidth_limit": np.array(batch.bandwidth_limit, dtype=str),
+    }
+    occupancy = batch.occupancy
+    meta: Dict[str, Any] = {
+        "kernel_name": batch.kernel_name,
+        "scalars": {
+            "launch_overhead": batch.launch_overhead.hex(),
+            "other_power": batch.other_power.hex(),
+            "valu_utilization": counters.valu_utilization.hex(),
+            "norm_vgpr": counters.norm_vgpr.hex(),
+            "norm_sgpr": counters.norm_sgpr.hex(),
+            "valu_insts_millions": counters.valu_insts_millions.hex(),
+            "vfetch_insts_millions": counters.vfetch_insts_millions.hex(),
+            "vwrite_insts_millions": counters.vwrite_insts_millions.hex(),
+        },
+        "occupancy": {
+            "waves_per_simd": occupancy.waves_per_simd,
+            "limits": dataclasses.asdict(occupancy.limits),
+        },
+    }
+    return arrays, meta
+
+
+#: Reconstructed config tuples, keyed by the raw bytes of the config
+#: columns. Every grid record of one platform shares the same ~450-point
+#: grid, so one reconstruction serves all of a process's record loads.
+_CONFIGS_MEMO: Dict[Tuple[bytes, bytes, bytes], Tuple[HardwareConfig, ...]] = {}
+
+
+def _configs_from_arrays(
+    n_cu: np.ndarray, f_cu: np.ndarray, f_mem: np.ndarray
+) -> Tuple[HardwareConfig, ...]:
+    memo_key = (n_cu.tobytes(), f_cu.tobytes(), f_mem.tobytes())
+    configs = _CONFIGS_MEMO.get(memo_key)
+    if configs is None:
+        configs = tuple(
+            HardwareConfig(n_cu=int(n), f_cu=float(f), f_mem=float(m))
+            for n, f, m in zip(n_cu, f_cu, f_mem)
+        )
+        if len(_CONFIGS_MEMO) >= 64:
+            _CONFIGS_MEMO.clear()
+        _CONFIGS_MEMO[memo_key] = configs
+    return configs
+
+
+def batch_from_record(
+    arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+) -> BatchRunResult:
+    """Rebuild a :class:`BatchRunResult` from a loaded record.
+
+    Raises:
+        Exception: any malformation (missing arrays, length mismatches,
+            bad scalar encodings) — the store turns it into a miss.
+    """
+    stack = arrays["stack"]
+    if (stack.ndim != 2 or stack.shape[0] != len(_GRID_ARRAYS)
+            or stack.dtype != np.float64):
+        raise ValueError("malformed grid stack")
+    n = int(stack.shape[1])
+    columns = dict(zip(_GRID_ARRAYS, stack))
+    if arrays["cfg_n_cu"].shape != (n,) or arrays["bandwidth_limit"].shape != (n,):
+        raise ValueError("malformed grid record")
+
+    scalars = {
+        name: float.fromhex(meta["scalars"][name]) for name in _GRID_SCALARS
+    }
+    counters = BatchCounters(
+        valu_busy=columns["valu_busy"],
+        mem_unit_busy=columns["mem_unit_busy"],
+        mem_unit_stalled=columns["mem_unit_stalled"],
+        write_unit_stalled=columns["write_unit_stalled"],
+        ic_activity=columns["ic_activity"],
+        valu_utilization=scalars["valu_utilization"],
+        norm_vgpr=scalars["norm_vgpr"],
+        norm_sgpr=scalars["norm_sgpr"],
+        valu_insts_millions=scalars["valu_insts_millions"],
+        vfetch_insts_millions=scalars["vfetch_insts_millions"],
+        vwrite_insts_millions=scalars["vwrite_insts_millions"],
+    )
+    occupancy = OccupancyResult(
+        waves_per_simd=int(meta["occupancy"]["waves_per_simd"]),
+        limits=OccupancyLimits(
+            **{k: int(v) for k, v in meta["occupancy"]["limits"].items()}
+        ),
+    )
+    model = BatchModelOutput(
+        compute_time=columns["compute_time"],
+        memory_time=columns["memory_time"],
+        overlap_residue=columns["overlap_residue"],
+        launch_overhead=scalars["launch_overhead"],
+        time=columns["time"],
+        achieved_bandwidth=columns["achieved_bandwidth"],
+        occupancy=occupancy,
+        bandwidth_limit=tuple(str(s) for s in arrays["bandwidth_limit"]),
+        counters=counters,
+    )
+    configs = _configs_from_arrays(
+        arrays["cfg_n_cu"], columns["cfg_f_cu"], columns["cfg_f_mem"]
+    )
+    return BatchRunResult(
+        kernel_name=str(meta["kernel_name"]),
+        configs=configs,
+        model=model,
+        gpu_power=columns["gpu_power"],
+        memory_power=columns["memory_power"],
+        other_power=scalars["other_power"],
+    )
+
+
+# --- the store -------------------------------------------------------------------
+
+
+class StoreStats(NamedTuple):
+    """Cumulative operation counts of one :class:`SweepStore`."""
+
+    hits: int
+    misses: int
+    invalid_records: int
+    bytes_read: int
+    bytes_written: int
+
+
+class SweepStore:
+    """Content-addressed ``.npz`` records under one directory.
+
+    Args:
+        root: the store directory (created on first use).
+        telemetry: optional telemetry handle; live operations feed the
+            ``sweep_store_hits_total`` / ``sweep_store_misses_total``
+            counters (labelled by record kind), the ``sweep_store_bytes``
+            counter (labelled by transfer direction) and the
+            ``sweep_store.load`` / ``sweep_store.save`` profile spans.
+
+    Raises:
+        OSError: when the directory cannot be created — the only error
+            that escapes; every read/write problem afterwards degrades to
+            a miss or a skipped write.
+    """
+
+    def __init__(self, root, telemetry=None):
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        from repro.telemetry.handle import coalesce
+        self._telemetry = coalesce(telemetry)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._invalid = 0
+        self._bytes_read = 0
+        self._bytes_written = 0
+
+    @property
+    def root(self) -> Path:
+        """The store directory."""
+        return self._root
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach (or detach, with None) a telemetry handle."""
+        from repro.telemetry.handle import coalesce
+        self._telemetry = coalesce(telemetry)
+
+    def stats(self) -> StoreStats:
+        """Cumulative hit/miss/byte counts since construction."""
+        with self._lock:
+            return StoreStats(
+                hits=self._hits,
+                misses=self._misses,
+                invalid_records=self._invalid,
+                bytes_read=self._bytes_read,
+                bytes_written=self._bytes_written,
+            )
+
+    def path_for(self, kind: str, key: Any) -> Path:
+        """The record file a (kind, key) pair addresses."""
+        return self._root / f"{kind}-{content_digest((kind, key))}.npz"
+
+    # --- generic records ---------------------------------------------------------
+
+    def save_record(self, kind: str, key: Any,
+                    arrays: Dict[str, np.ndarray],
+                    meta: Optional[Dict[str, Any]] = None) -> bool:
+        """Atomically persist one record; False when the write failed.
+
+        The record lands under its content digest via tempfile +
+        :func:`os.replace`, so readers only ever see complete records.
+        Write failures (full/read-only disk) are swallowed: the store is
+        an accelerator, never a correctness dependency.
+        """
+        digest = content_digest((kind, key))
+        final = self._root / f"{kind}-{digest}.npz"
+        record_meta = dict(meta or ())
+        record_meta["schema"] = STORE_SCHEMA_VERSION
+        record_meta["kind"] = kind
+        record_meta["digest"] = digest
+        tmp = None
+        try:
+            with self._telemetry.time("sweep_store.save"):
+                fd, tmp = tempfile.mkstemp(
+                    dir=self._root, prefix=final.stem + ".", suffix=".tmp.npz"
+                )
+                os.close(fd)
+                np.savez(tmp, __meta__=np.array(json.dumps(record_meta)),
+                         **arrays)
+                written = os.stat(tmp).st_size
+                os.replace(tmp, final)
+                tmp = None
+        except Exception:
+            return False
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        with self._lock:
+            self._bytes_written += written
+        self._telemetry.metrics.counter(
+            "sweep_store_bytes", "bytes moved through the sweep store",
+        ).inc(written, direction="write")
+        return True
+
+    def load_record(
+        self, kind: str, key: Any
+    ) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, Any]]]:
+        """Load one record, or None on a miss.
+
+        Missing files, torn/corrupted/truncated records, foreign schema
+        versions and digest mismatches all count as misses — the caller
+        recomputes and rewrites.
+        """
+        digest = content_digest((kind, key))
+        path = self._root / f"{kind}-{digest}.npz"
+        arrays: Optional[Dict[str, np.ndarray]] = None
+        meta: Dict[str, Any] = {}
+        invalid = False
+        size = 0
+        try:
+            with self._telemetry.time("sweep_store.load"):
+                size = os.stat(path).st_size
+                with np.load(path, allow_pickle=False) as data:
+                    meta = json.loads(str(data["__meta__"][()]))
+                    if (meta.get("schema") != STORE_SCHEMA_VERSION
+                            or meta.get("kind") != kind
+                            or meta.get("digest") != digest):
+                        raise ValueError("foreign or mismatched record")
+                    arrays = {name: data[name] for name in data.files
+                              if name != "__meta__"}
+        except FileNotFoundError:
+            pass
+        except Exception:
+            invalid = True
+        return self._account_load(kind, arrays, meta, invalid, size)
+
+    def _account_load(self, kind, arrays, meta, invalid, size):
+        hit = arrays is not None
+        with self._lock:
+            if hit:
+                self._hits += 1
+                self._bytes_read += size
+            else:
+                self._misses += 1
+                if invalid:
+                    self._invalid += 1
+        metrics = self._telemetry.metrics
+        if hit:
+            metrics.counter(
+                "sweep_store_hits_total", "sweep store records served",
+            ).inc(kind=kind)
+            metrics.counter(
+                "sweep_store_bytes", "bytes moved through the sweep store",
+            ).inc(size, direction="read")
+            return arrays, meta
+        metrics.counter(
+            "sweep_store_misses_total", "sweep store lookups not served",
+        ).inc(kind=kind)
+        return None
+
+    def get_or_compute_arrays(
+        self, kind: str, key: Any,
+        compute: Callable[[], Dict[str, np.ndarray]],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Serve a generic array record, computing and persisting on miss."""
+        loaded = self.load_record(kind, key)
+        if loaded is not None:
+            return loaded[0]
+        arrays = compute()
+        self.save_record(kind, key, arrays, meta=meta)
+        return arrays
+
+    # --- grid surfaces -----------------------------------------------------------
+
+    def save_batch(self, key: Any, batch: BatchRunResult) -> bool:
+        """Persist one deterministic full-grid surface."""
+        arrays, meta = batch_to_record(batch)
+        return self.save_record(GRID_KIND, key, arrays, meta=meta)
+
+    def load_batch(self, key: Any) -> Optional[BatchRunResult]:
+        """Load one grid surface, or None on any kind of miss."""
+        loaded = self.load_record(GRID_KIND, key)
+        if loaded is None:
+            return None
+        try:
+            return batch_from_record(*loaded)
+        except Exception:
+            # Structurally valid npz, semantically broken record: demote
+            # the accounted hit to an invalid-record miss.
+            with self._lock:
+                self._hits -= 1
+                self._misses += 1
+                self._invalid += 1
+            return None

@@ -18,16 +18,27 @@ keying is *by value*: two platforms built from the same calibration share
 entries, and changing any calibration constant, kernel characteristic or
 grid axis naturally misses — no explicit invalidation protocol is needed.
 
-Only **deterministic** surfaces are cached. Noisy platforms still use the
-cache: :meth:`repro.platform.hd7970.HardwarePlatform.grid_sweep` looks up
-(or computes) the noise-free surface and applies the launch-keyed noise
+The cache is a **two-tier hierarchy**: the in-memory LRU fronts an
+optional disk-backed content-addressed store
+(:class:`~repro.platform.store.SweepStore`). A memory miss consults the
+store before computing, and a computed surface is written through, so a
+second *process* (another CLI invocation, a CI shard) warm-starts from the
+first one's surfaces. The store is attached via :meth:`attach_store`
+(the CLI does this from ``--cache-dir`` / ``$REPRO_CACHE_DIR``) and the
+same value-keying applies: the store digests the full key content, so no
+stale record is ever addressed.
+
+Only **deterministic** surfaces are cached, in either tier. Noisy
+platforms still use the cache:
+:meth:`repro.platform.hd7970.HardwarePlatform.grid_sweep` looks up (or
+computes) the noise-free surface and applies the launch-keyed noise
 *after* the lookup as a vectorized draw (cache-then-perturb, see
 :mod:`repro.platform.noise`), so no particular noise realization is ever
 frozen into an entry and every consumer's draws stay keyed by
 ``(seed, spec, iteration, config)``.
 
-The cache is bounded (LRU) and thread-safe, because the parallel fan-out in
-:mod:`repro.runtime.parallel` evaluates several applications' kernels
+The cache is bounded (LRU) and thread-safe, because the parallel fan-out
+in :mod:`repro.runtime.parallel` evaluates several applications' kernels
 concurrently against the shared instance from :func:`shared_cache`.
 """
 
@@ -35,13 +46,48 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Hashable, Optional, Tuple
+from typing import Callable, Hashable, NamedTuple, Optional
 
 from repro.perf.batch import BatchRunResult
 
 
+class TierStats(NamedTuple):
+    """``(hits, misses)`` of one cache tier."""
+
+    hits: int
+    misses: int
+
+
+class CacheStats(NamedTuple):
+    """Per-tier lookup statistics of a :class:`SweepCache`.
+
+    ``memory`` counts every lookup; ``store`` counts only the memory
+    misses that went on to consult an attached store (both zero when no
+    store was ever attached).
+    """
+
+    memory: TierStats
+    store: TierStats
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups against the cache."""
+        return self.memory.hits + self.memory.misses
+
+    @property
+    def served(self) -> int:
+        """Lookups answered without recomputing (either tier)."""
+        return self.memory.hits + self.store.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without recompute (0 when unused)."""
+        return self.served / self.lookups if self.lookups else 0.0
+
+
 class SweepCache:
-    """Bounded, thread-safe LRU cache of :class:`BatchRunResult` grids.
+    """Bounded, thread-safe LRU of :class:`BatchRunResult` grids, with an
+    optional persistent second tier.
 
     Attributes:
         maxsize: maximum number of cached grids; each entry holds a dozen
@@ -50,24 +96,48 @@ class SweepCache:
             repro evaluates.
     """
 
-    def __init__(self, maxsize: int = 256):
+    def __init__(self, maxsize: int = 256, store=None):
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self._entries: "OrderedDict[Hashable, BatchRunResult]" = OrderedDict()
         self._lock = threading.Lock()
+        self._store = store
         self._hits = 0
         self._misses = 0
+        self._store_hits = 0
+        self._store_misses = 0
+
+    # --- the persistent tier ---------------------------------------------------
+
+    @property
+    def store(self):
+        """The attached :class:`~repro.platform.store.SweepStore` (or None)."""
+        return self._store
+
+    def attach_store(self, store) -> None:
+        """Put a persistent store behind the in-memory tier."""
+        self._store = store
+
+    def detach_store(self) -> None:
+        """Run memory-only again (existing entries stay)."""
+        self._store = None
+
+    # --- lookups ---------------------------------------------------------------
 
     def get_or_compute(
         self, key: Hashable, compute: Callable[[], BatchRunResult]
     ) -> BatchRunResult:
         """Return the cached grid for ``key``, computing it on a miss.
 
-        ``compute`` runs outside the lock so a slow sweep does not block
-        concurrent lookups of other kernels; if two threads race on the
-        same key, both compute and the second result wins (results are
-        deterministic, so the duplicates are identical).
+        Lookup order: memory tier, then the attached store (a store hit
+        is promoted into memory), then ``compute`` — whose result is
+        inserted into memory and written through to the store. Store
+        reads and writes run outside the lock, like ``compute``: a slow
+        disk does not block concurrent lookups of other kernels, and if
+        two threads race on the same key both compute and the second
+        result wins (results are deterministic, so the duplicates are
+        identical).
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -76,27 +146,58 @@ class SweepCache:
                 self._hits += 1
                 return entry
             self._misses += 1
+        store = self._store
+        if store is not None:
+            entry = store.load_batch(key)
+            with self._lock:
+                if entry is not None:
+                    self._store_hits += 1
+                else:
+                    self._store_misses += 1
+            if entry is not None:
+                self._insert(key, entry)
+                return entry
         result = compute()
+        self._insert(key, result)
+        if store is not None:
+            store.save_batch(key, result)
+        return result
+
+    def _insert(self, key: Hashable, result: BatchRunResult) -> None:
         with self._lock:
             self._entries[key] = result
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-        return result
 
     def get(self, key: Hashable) -> Optional[BatchRunResult]:
-        """The cached grid for ``key``, or None (counts as hit/miss)."""
+        """The cached grid for ``key``, or None (counts as hit/miss).
+
+        Consults both tiers but never computes; a store hit is promoted
+        into the memory tier.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                return entry
+            self._misses += 1
+        store = self._store
+        if store is None:
+            return None
+        entry = store.load_batch(key)
+        with self._lock:
+            if entry is not None:
+                self._store_hits += 1
             else:
-                self._misses += 1
-            return entry
+                self._store_misses += 1
+        if entry is not None:
+            self._insert(key, entry)
+        return entry
 
     def clear(self) -> None:
-        """Drop every cached grid (statistics are kept)."""
+        """Drop every in-memory grid (statistics and the store are kept)."""
         with self._lock:
             self._entries.clear()
 
@@ -104,18 +205,41 @@ class SweepCache:
         with self._lock:
             return len(self._entries)
 
-    @property
-    def stats(self) -> Tuple[int, int]:
-        """``(hits, misses)`` since construction."""
+    # --- statistics ------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Per-tier ``(hits, misses)`` since construction."""
         with self._lock:
-            return self._hits, self._misses
+            return CacheStats(
+                memory=TierStats(self._hits, self._misses),
+                store=TierStats(self._store_hits, self._store_misses),
+            )
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0 when never used)."""
-        hits, misses = self.stats
-        lookups = hits + misses
-        return hits / lookups if lookups > 0 else 0.0
+        """Fraction of lookups served without recompute (0 when unused)."""
+        return self.stats().hit_rate
+
+    def publish(self, telemetry) -> None:
+        """Export the per-tier counts as telemetry counters.
+
+        Sets ``sweep_cache_hits_total`` / ``sweep_cache_misses_total``
+        (labelled by tier) from the current totals; call once, at the
+        end of a run, before exporting the metrics registry.
+        """
+        stats = self.stats()
+        hits = telemetry.metrics.counter(
+            "sweep_cache_hits_total", "sweep cache lookups served, per tier",
+        )
+        misses = telemetry.metrics.counter(
+            "sweep_cache_misses_total", "sweep cache lookup misses, per tier",
+        )
+        for tier, tier_stats in (("memory", stats.memory),
+                                 ("store", stats.store)):
+            if tier_stats.hits:
+                hits.inc(tier_stats.hits, tier=tier)
+            if tier_stats.misses:
+                misses.inc(tier_stats.misses, tier=tier)
 
 
 _SHARED = SweepCache()

@@ -81,8 +81,8 @@ class ApplicationRunner:
                 kernel_name=kernel.name, iteration=iteration, spec=spec
             )
             config = policy.config_for(context)
-            result = self._platform.run_kernel(spec, config,
-                                               iteration=iteration)
+            result = self._platform.launch(spec, config,
+                                           iteration=iteration)
             policy.observe(context, result)
             trace.append(LaunchRecord(
                 iteration=iteration, kernel_name=kernel.name, result=result
@@ -107,8 +107,8 @@ class ApplicationRunner:
             with tel.time("policy.config_for"):
                 config = policy.config_for(context)
             with tel.time("platform.run_kernel"):
-                result = self._platform.run_kernel(spec, config,
-                                                   iteration=iteration)
+                result = self._platform.launch(spec, config,
+                                               iteration=iteration)
             with tel.time("policy.observe"):
                 policy.observe(context, result)
             trace.append(LaunchRecord(

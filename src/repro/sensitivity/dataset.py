@@ -79,24 +79,50 @@ def _distinct_specs(applications: Sequence[Application]) -> List[KernelSpec]:
 
 def _averaged_features(platform: HardwarePlatform, spec: KernelSpec,
                        config_stride: int) -> Dict[str, float]:
-    """Counter features averaged over a spread of configurations."""
-    space = platform.config_space
-    surface = platform.grid_sweep(spec) if platform.is_deterministic else None
-    sums: Dict[str, float] = {}
-    count = 0
-    for idx, config in enumerate(space):
-        if idx % config_stride:
-            continue
-        if surface is not None:
-            counters = surface.counters.at(idx)
-        else:
-            counters = platform.run_kernel(spec, config).counters
-        for name, value in counters.as_feature_dict().items():
-            sums[name] = sums.get(name, 0.0) + value
-        count += 1
+    """Counter features averaged over a spread of configurations.
+
+    Operates on the strided counter columns directly instead of
+    materializing a scalar :class:`PerfCounters` per sampled index; the
+    per-feature sums run in the same sequential index order as the old
+    scalar loop, so the averages are bitwise unchanged.
+    """
+    # Counters are noise-free on both paths (noise multiplies only the
+    # reported launch time), so the cached surface serves noisy
+    # platforms too and the features are identical either way.
+    counters = platform.grid_sweep(spec).counters
+    valu_busy = counters.valu_busy[::config_stride].tolist()
+    mem_unit_busy = counters.mem_unit_busy[::config_stride].tolist()
+    count = len(valu_busy)
     if count == 0:
         raise AnalysisError("config_stride too large: no configurations sampled")
-    return {name: value / count for name, value in sums.items()}
+
+    def mean(values) -> float:
+        total = 0.0
+        for value in values:
+            total += value
+        return total / count
+
+    def intensity(busy: float, mem_busy: float) -> float:
+        # Equation 3, exactly as PerfCounters.compute_to_memory_intensity.
+        if mem_busy <= 0:
+            return 100.0
+        raw = (busy * counters.valu_utilization / 100.0) / mem_busy
+        return min(100.0, raw * 100.0)
+
+    return {
+        "VALUUtilization": mean([counters.valu_utilization] * count),
+        "VALUBusy": mean(valu_busy),
+        "MemUnitBusy": mean(mem_unit_busy),
+        "MemUnitStalled": mean(
+            counters.mem_unit_stalled[::config_stride].tolist()),
+        "WriteUnitStalled": mean(
+            counters.write_unit_stalled[::config_stride].tolist()),
+        "icActivity": mean(counters.ic_activity[::config_stride].tolist()),
+        "NormVGPR": mean([counters.norm_vgpr] * count),
+        "NormSGPR": mean([counters.norm_sgpr] * count),
+        "CtoMIntensity": mean([intensity(busy, mem_busy) for busy, mem_busy
+                               in zip(valu_busy, mem_unit_busy)]),
+    }
 
 
 def build_dataset(

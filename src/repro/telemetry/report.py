@@ -9,7 +9,7 @@ the top kernels by run time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
 from repro.telemetry.events import (
@@ -199,3 +199,68 @@ def format_report(summary: TraceSummary) -> str:
         _format_residency(summary),
         _format_top_kernels(summary),
     ])
+
+
+# --- sweep-cache effectiveness ---------------------------------------------------
+
+
+def _counter_total(metrics: Dict, name: str, **labels: str) -> float:
+    """Sum a counter's samples whose labels include ``labels``."""
+    instrument = metrics.get(name)
+    if not instrument:
+        return 0.0
+    total = 0.0
+    for sample in instrument.get("samples", ()):
+        sample_labels = sample.get("labels", {})
+        if all(sample_labels.get(k) == v for k, v in labels.items()):
+            total += sample.get("value", 0.0)
+    return total
+
+
+def format_cache_effectiveness(memory_hits: int, memory_misses: int,
+                               store_hits: int, store_misses: int,
+                               bytes_read: float = 0.0,
+                               bytes_written: float = 0.0) -> str:
+    """One line summarizing how well the two-tier sweep cache worked."""
+    lookups = memory_hits + memory_misses
+    served = memory_hits + store_hits
+    rate = served / lookups if lookups else 0.0
+    line = (f"sweep cache: {lookups} lookups, memory {memory_hits} hits / "
+            f"{memory_misses} misses, store {store_hits} hits / "
+            f"{store_misses} misses — {rate:.0%} served without recompute")
+    if bytes_read or bytes_written:
+        line += (f"; store I/O {bytes_read / 1024:.0f} KiB read, "
+                 f"{bytes_written / 1024:.0f} KiB written")
+    return line
+
+
+def cache_effectiveness_from_metrics(metrics: Dict) -> Optional[str]:
+    """The cache-effectiveness line from an exported metrics registry
+    (the JSON written by ``--metrics-out``); None when the export holds
+    no sweep-cache series."""
+    names = ("sweep_cache_hits_total", "sweep_cache_misses_total",
+             "sweep_store_hits_total", "sweep_store_misses_total",
+             "sweep_store_bytes")
+    if not any(name in metrics for name in names):
+        return None
+    memory_hits = _counter_total(metrics, "sweep_cache_hits_total",
+                                 tier="memory")
+    memory_misses = _counter_total(metrics, "sweep_cache_misses_total",
+                                   tier="memory")
+    store_hits = _counter_total(metrics, "sweep_cache_hits_total",
+                                tier="store")
+    store_misses = _counter_total(metrics, "sweep_cache_misses_total",
+                                  tier="store")
+    if store_hits == store_misses == 0:
+        # Fall back to the store's own live counters (e.g. a metrics
+        # export taken before SweepCache.publish ran).
+        store_hits = _counter_total(metrics, "sweep_store_hits_total")
+        store_misses = _counter_total(metrics, "sweep_store_misses_total")
+    return format_cache_effectiveness(
+        int(memory_hits), int(memory_misses),
+        int(store_hits), int(store_misses),
+        bytes_read=_counter_total(metrics, "sweep_store_bytes",
+                                  direction="read"),
+        bytes_written=_counter_total(metrics, "sweep_store_bytes",
+                                     direction="write"),
+    )

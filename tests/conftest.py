@@ -15,6 +15,25 @@ from repro.gpu.config import ConfigSpace
 from repro.platform.hd7970 import make_hd7970_platform
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_store_dir(tmp_path_factory):
+    """Point the persistent sweep store at a throwaway directory.
+
+    Tests must never read or write ~/.cache: anything that resolves the
+    default store location (CLI paths, store tests) lands here instead.
+    """
+    import os
+    from repro.platform.store import CACHE_DIR_ENV
+    previous = os.environ.get(CACHE_DIR_ENV)
+    root = tmp_path_factory.mktemp("sweep-store")
+    os.environ[CACHE_DIR_ENV] = str(root)
+    yield root
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
+
+
 @pytest.fixture(scope="session")
 def context() -> ExperimentContext:
     """Shared experiment context (platform + training + evaluation)."""

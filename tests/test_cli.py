@@ -68,8 +68,79 @@ class TestReproduce:
         assert main(["reproduce", "--output", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "reports written" in out
+        assert "sweep cache:" in out  # the cache-effectiveness summary
         written = list(tmp_path.glob("*.txt"))
         assert len(written) >= 20
         # The headline figure must be among them, with its geomeans.
         fig10 = (tmp_path / "fig10_ed2.txt").read_text()
         assert "geomean" in fig10
+
+
+class TestSweepStoreFlags:
+    """--cache-dir / --no-cache and the telemetry-report --metrics line."""
+
+    @pytest.fixture(autouse=True)
+    def _detach_after(self):
+        from repro.platform.sweepcache import shared_cache
+        yield
+        shared_cache().detach_store()
+
+    def test_cache_dir_persists_grid_records(self, tmp_path, capsys):
+        from repro.platform.sweepcache import shared_cache
+        shared_cache().clear()  # cold memory tier, like a fresh process
+        store_dir = tmp_path / "store"
+        assert main(["sweep", "SRAD.Prepare",
+                     "--cache-dir", str(store_dir)]) == 0
+        records = list(store_dir.glob("grid-*.npz"))
+        assert len(records) == 1
+
+    def test_no_cache_disables_the_store(self, tmp_path, capsys):
+        from repro.platform.sweepcache import shared_cache
+        assert main(["sweep", "SRAD.Prepare", "--no-cache"]) == 0
+        assert shared_cache().store is None
+
+    def test_unusable_cache_dir_degrades_with_warning(self, tmp_path,
+                                                      capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        assert main(["sweep", "SRAD.Prepare",
+                     "--cache-dir", str(blocker)]) == 0
+        captured = capsys.readouterr()
+        assert "sweep store disabled" in captured.err
+        assert "min ED2" in captured.out
+
+    def test_second_invocation_warm_starts(self, tmp_path, capsys):
+        from repro.platform.sweepcache import shared_cache
+        store_dir = tmp_path / "store"
+        shared_cache().clear()  # cold start: compute + write through
+        assert main(["sweep", "SRAD.Prepare",
+                     "--cache-dir", str(store_dir)]) == 0
+        # Simulate a fresh process: empty the in-memory tier.
+        shared_cache().clear()
+        before = shared_cache().stats().store
+        assert main(["sweep", "SRAD.Prepare",
+                     "--cache-dir", str(store_dir)]) == 0
+        after = shared_cache().stats().store
+        assert after.hits == before.hits + 1
+
+    def test_telemetry_report_metrics_line(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(["run", "XSBench", "--policy", "cg-only",
+                     "--trace", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry-report", str(trace),
+                     "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep cache:" in out
+        assert "served without recompute" in out
+
+    def test_telemetry_report_metrics_unreadable(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["run", "XSBench", "--policy", "cg-only",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry-report", str(trace),
+                     "--metrics", str(tmp_path / "absent.json")]) == 2
+        assert "unreadable metrics file" in capsys.readouterr().err
