@@ -224,15 +224,17 @@ def cmd_telemetry_report(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """Print the Figures 10-13 headline evaluation."""
     from repro.experiments import fig10_13_evaluation
+    from repro.runtime.parallel import resolve_jobs
 
     _attach_store(args)
-    context = ExperimentContext(jobs=args.jobs)
+    jobs = resolve_jobs(args.jobs)
+    context = ExperimentContext(jobs=jobs)
     result = fig10_13_evaluation.run(context)
     print(fig10_13_evaluation.format_report(result))
     if args.seeds:
         summary = fig10_13_evaluation.run_ci(
             context, seeds=args.seeds, noise_std_fraction=args.noise,
-            jobs=args.jobs,
+            jobs=jobs,
         )
         print()
         print(fig10_13_evaluation.format_ci(summary))
@@ -242,8 +244,10 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def cmd_montecarlo(args: argparse.Namespace) -> int:
     """Repeated-trial Monte Carlo bands for one policy vs the baseline."""
     from repro.analysis.evaluation import EvaluationHarness
+    from repro.runtime.parallel import resolve_jobs
 
     _attach_store(args)
+    args.jobs = resolve_jobs(args.jobs)
     context = ExperimentContext(jobs=args.jobs)
     if args.apps:
         unknown = [a for a in args.apps if a not in application_names()]
@@ -379,72 +383,72 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
-    """Regenerate every paper table/figure and write reports to a dir."""
-    import importlib
+    """Regenerate every paper table/figure and write reports to a dir.
+
+    The experiments run as a DAG through the pipeline scheduler: ready
+    nodes fan out over the ``--jobs`` worker budget and unchanged nodes
+    are served from the content-addressed result manifest in the sweep
+    store (``--no-incremental`` forces recomputation). Report bytes are
+    identical in every mode.
+    """
+    import json
     import pathlib
     import time
+
+    from repro.experiments.registry import (
+        reproduce_fingerprint, reproduce_specs)
+    from repro.runtime.parallel import resolve_jobs
+    from repro.runtime.pipeline import (
+        ExperimentPipeline, ResultManifest, STATUS_MANIFEST, format_profile)
 
     out_dir = pathlib.Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
     store = _attach_store(args)
-    context = ExperimentContext(jobs=args.jobs)
+    jobs = resolve_jobs(args.jobs)
+    context = ExperimentContext(jobs=jobs)
 
-    # (report name, module, runner attr, formatter attr or callable)
-    from repro.experiments import fig04_fig05_power_ranges as f45
-    from repro.experiments import fig10_13_evaluation as f1013
-
-    simple = [
-        ("fig01_power_breakdown", "fig01_power_breakdown"),
-        ("table1_dvfs", "table1_dvfs"),
-        ("fig03_balance_points", "fig03_balance"),
-        ("fig06_metric_tradeoffs", "fig06_metric_tradeoffs"),
-        ("fig07_occupancy", "fig07_occupancy"),
-        ("fig08_divergence", "fig08_divergence"),
-        ("fig09_clock_domains", "fig09_clock_domains"),
-        ("table2_table3_models", "table2_table3_models"),
-        ("fig14_16_graph500", "fig14_16_graph500"),
-        ("fig17_power_sharing", "fig17_power_sharing"),
-        ("fig18_cg_vs_fg", "fig18_cg_vs_fg"),
-        ("sec72_variants", "sec72_variants"),
-        ("ext_memory_voltage", "ext_memory_voltage"),
-        ("ext_thermal_capping", "ext_thermal_capping"),
-        ("ext_model_validation", "ext_model_validation"),
-        ("ext_phase_memory", "ext_phase_memory"),
-        ("ext_power_capping", "ext_power_capping"),
-        ("ext_portability", "ext_portability"),
-        ("oracle_gap", "oracle_gap"),
-        ("characterization", "characterization"),
-    ]
+    manifest = None
+    if store is not None and not args.no_incremental:
+        manifest = ResultManifest(store)
+    pipeline = ExperimentPipeline(
+        reproduce_specs(include_ablations=args.ablations), context,
+        jobs=jobs, manifest=manifest,
+        fingerprint=reproduce_fingerprint(context),
+    )
 
     started = time.time()
     count = 0
 
-    def emit(name: str, text: str) -> None:
+    def emit(name: str, text: str, status: str) -> None:
         nonlocal count
         (out_dir / f"{name}.txt").write_text(text + "\n")
         count += 1
-        print(f"[{count:2d}] {name}")
+        tag = "  (manifest)" if status == STATUS_MANIFEST else ""
+        print(f"[{count:2d}] {name}{tag}")
 
-    emit("fig04_compute_power",
-         f45.format_report(f45.run_fig04(context), "70%"))
-    emit("fig05_memory_power",
-         f45.format_report(f45.run_fig05(context), "10%"))
-    evaluation = f1013.run(context)
-    emit("fig10_ed2", f1013.format_fig10(evaluation))
-    emit("fig11_energy", f1013.format_fig11(evaluation))
-    emit("fig12_power", f1013.format_fig12(evaluation))
-    emit("fig13_performance", f1013.format_fig13(evaluation))
-    for report_name, module_name in simple:
-        module = importlib.import_module(f"repro.experiments.{module_name}")
-        emit(report_name, module.format_report(module.run(context)))
-    if args.ablations:
-        from repro.experiments import ablations
-        for study_name, study in ablations.ALL_STUDIES:
-            emit(f"ablation_{study_name}",
-                 ablations.format_report(study(context)))
+    result = pipeline.run(emit)
 
     print(f"\n{count} reports written to {out_dir} "
           f"in {time.time() - started:.1f}s")
+    served = result.served()
+    if manifest is not None:
+        if len(served) == len(result.reports):
+            print(f"result manifest: all {len(served)} reports served from "
+                  f"cache, every node skipped")
+        elif served:
+            print(f"result manifest: {len(served)}/{len(result.reports)} "
+                  f"reports served from cache: {', '.join(served)}")
+        else:
+            print("result manifest: no reports served (cold run)")
+    print()
+    print(format_profile(result))
+    if args.profile_json:
+        profile = result.to_dict()
+        profile["jobs"] = jobs
+        with open(args.profile_json, "w") as handle:
+            json.dump(profile, handle, indent=2)
+            handle.write("\n")
+        print(f"pipeline profile written to {args.profile_json}")
     from repro.platform.sweepcache import shared_cache
     from repro.telemetry.report import format_cache_effectiveness
     stats = shared_cache().stats()
@@ -506,8 +510,9 @@ def build_parser() -> argparse.ArgumentParser:
     eval_p = sub.add_parser("evaluate", help="the Figures 10-13 headline",
                             parents=[cache_p])
     eval_p.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="evaluate applications on up to N threads "
-                             "(results are identical for any N)")
+                        help="evaluate applications on up to N threads; "
+                             "0 = one per core (results are identical "
+                             "for any N)")
     eval_p.add_argument("--seeds", type=int, default=0, metavar="N",
                         help="also print 95%% confidence bands from N "
                              "Monte Carlo measurement-noise trials")
@@ -530,7 +535,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-trial execution-time noise fraction "
                            "(default: 0.05)")
     mc_p.add_argument("--jobs", type=int, default=1, metavar="N",
-                      help="evaluate applications on up to N threads")
+                      help="evaluate applications on up to N threads; "
+                           "0 = one per core")
     mc_p.set_defaults(func=cmd_montecarlo)
 
     fig_p = sub.add_parser("figure", help="regenerate one table/figure",
@@ -543,7 +549,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("kernels", nargs="+", metavar="kernel",
                          help="qualified name(s), e.g. Sort.BottomScan")
     sweep_p.add_argument("--jobs", type=int, default=1, metavar="N",
-                         help="sweep kernels on up to N threads")
+                         help="sweep kernels on up to N threads; "
+                              "0 = one per core")
     sweep_p.set_defaults(func=cmd_sweep)
 
     repro_p = sub.add_parser(
@@ -555,8 +562,15 @@ def build_parser() -> argparse.ArgumentParser:
     repro_p.add_argument("--ablations", action="store_true",
                          help="also run the six ablation studies")
     repro_p.add_argument("--jobs", type=int, default=1, metavar="N",
-                         help="fan training and evaluation out over up to "
-                              "N threads (reports are identical for any N)")
+                         help="total worker budget: experiment nodes and "
+                              "their internal fan-outs share it; 0 = one "
+                              "per core (reports are identical for any N)")
+    repro_p.add_argument("--no-incremental", action="store_true",
+                         help="ignore the result manifest and recompute "
+                              "every experiment node")
+    repro_p.add_argument("--profile-json", metavar="PATH", default=None,
+                         help="write the per-node wall/CPU timings and the "
+                              "critical path to PATH as JSON")
     repro_p.set_defaults(func=cmd_reproduce)
 
     return parser

@@ -7,6 +7,7 @@ is not free; every experiment that needs them shares one cached instance.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
@@ -31,15 +32,21 @@ class ExperimentContext:
             platform: the test bed; defaults to a deterministic HD7970.
             jobs: thread fan-out for the expensive stages (training-set
                 construction and the evaluation matrix). Results are
-                independent of the job count; 1 keeps everything serial.
+                independent of the job count; 1 keeps everything serial
+                and 0 means "auto" (one worker per core).
         """
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0 (0 = auto), got {jobs}")
+        from repro.runtime.parallel import resolve_jobs
         self._platform = platform or make_hd7970_platform()
-        self._jobs = jobs
+        self._jobs = resolve_jobs(jobs)
         self._applications: Optional[List[Application]] = None
         self._training: Optional[TrainingReport] = None
         self._summary: Optional[EvaluationSummary] = None
+        # Pipeline nodes share one context across worker threads; the
+        # lazy builds below must each happen exactly once. Reentrant:
+        # the evaluation build reads the training property.
+        self._build_lock = threading.RLock()
 
     @property
     def jobs(self) -> int:
@@ -54,9 +61,10 @@ class ExperimentContext:
     @property
     def applications(self) -> List[Application]:
         """The paper's 14 applications (built once)."""
-        if self._applications is None:
-            self._applications = all_applications()
-        return self._applications
+        with self._build_lock:
+            if self._applications is None:
+                self._applications = all_applications()
+            return self._applications
 
     def application(self, name: str) -> Application:
         """Look up one of the cached applications by name."""
@@ -68,11 +76,12 @@ class ExperimentContext:
     @property
     def training(self) -> TrainingReport:
         """The Section 4 predictor-training pipeline output (cached)."""
-        if self._training is None:
-            self._training = train_predictors(
-                self._platform, self.applications, jobs=self._jobs
-            )
-        return self._training
+        with self._build_lock:
+            if self._training is None:
+                self._training = train_predictors(
+                    self._platform, self.applications, jobs=self._jobs
+                )
+            return self._training
 
     # --- policies -----------------------------------------------------------
 
@@ -113,6 +122,10 @@ class ExperimentContext:
     @property
     def evaluation(self) -> EvaluationSummary:
         """Baseline vs CG vs Harmonia vs oracle vs DVFS-only, cached."""
+        with self._build_lock:
+            return self._evaluation_locked()
+
+    def _evaluation_locked(self) -> EvaluationSummary:
         if self._summary is None:
             harness = EvaluationHarness(self._platform, self.baseline_policy())
             if self._jobs > 1:

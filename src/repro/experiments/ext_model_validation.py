@@ -15,7 +15,7 @@ rankings across the configuration sample.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.experiments.context import ExperimentContext, default_context
 from repro.memory.controller import MemoryControllerModel
 from repro.perf.eventsim import EventDrivenModel
 from repro.platform.sweepcache import shared_cache
+from repro.runtime.parallel import fan_out_processes
 from repro.sensitivity.regression import pearson
 from repro.units import MHZ
 from repro.workloads.registry import all_kernels
@@ -76,9 +77,26 @@ def _sample_configs(space) -> List:
     ]
 
 
-def _event_times(event_model: EventDrivenModel, calibration, spec,
-                 configs) -> List[float]:
-    """Event-driven execution times over ``configs``, store-served.
+def _simulate_times(task) -> List[float]:
+    """Event-driven execution times for one kernel (worker-side).
+
+    Runs in a ``fan_out_processes`` worker, so it is a pure top-level
+    function of picklable inputs: it rebuilds the simulator stack from
+    the calibration instead of sharing the parent's instances, and leaves
+    all store traffic to the caller.
+    """
+    calibration, spec, configs = task
+    controller = MemoryControllerModel(
+        arch=calibration.arch, timing=calibration.gddr5_timing
+    )
+    event_model = EventDrivenModel(
+        calibration.arch, controller, calibration.clock_domain_model()
+    )
+    return [event_model.run(spec, config).time for config in configs]
+
+
+def _load_event_times(store, calibration, spec, configs) -> Optional[List[float]]:
+    """The persisted event-driven surface for one kernel, or None.
 
     The simulator is deterministic and by far the most expensive stage of
     the ``reproduce`` pipeline (one scalar Python event loop per config),
@@ -86,26 +104,19 @@ def _event_times(event_model: EventDrivenModel, calibration, spec,
     store when one is attached to the shared cache: keyed by calibration,
     spec and the exact config sample, a warm process loads the surface
     bitwise instead of re-simulating 27 configurations per kernel.
+    Malformed foreign records that pass the schema check count as misses
+    (the caller recomputes and overwrites).
     """
-    def compute():
-        times = [event_model.run(spec, config).time for config in configs]
-        return {"time": np.array(times, dtype=np.float64)}
-
-    store = shared_cache().store
     if store is None:
-        return compute()["time"].tolist()
-    key = (calibration, spec, tuple(configs))
-    arrays = store.get_or_compute_arrays(
-        EVENTSIM_KIND, key, compute, meta={"kernel_name": spec.name},
+        return None
+    loaded = store.load_record(
+        EVENTSIM_KIND, (calibration, spec, tuple(configs))
     )
-    times = np.asarray(arrays["time"], dtype=np.float64)
+    if loaded is None:
+        return None
+    times = np.asarray(loaded[0].get("time"), dtype=np.float64)
     if times.shape != (len(configs),):
-        # Malformed foreign record that passed the schema check: fall
-        # back to a fresh simulation (and overwrite it).
-        arrays = compute()
-        store.save_record(EVENTSIM_KIND, key, arrays,
-                          meta={"kernel_name": spec.name})
-        times = arrays["time"]
+        return None
     return times.tolist()
 
 
@@ -114,27 +125,49 @@ def run(context: ExperimentContext = None) -> ModelValidationResult:
     context = context or default_context()
     platform = context.platform
     calibration = platform.calibration
-    controller = MemoryControllerModel(
-        arch=calibration.arch, timing=calibration.gddr5_timing
-    )
-    event_model = EventDrivenModel(
-        calibration.arch, controller, calibration.clock_domain_model()
-    )
     configs = _sample_configs(platform.config_space)
+    kernels = list(all_kernels())
+    store = shared_cache().store
+
+    # Serve every kernel the store already covers, then simulate the rest
+    # in one fan-out. The simulator is a pure-Python event loop that
+    # holds the GIL, so the fan-out uses worker *processes*; store writes
+    # happen here in the parent, keeping the workers side-effect free.
+    event_driven = {}
+    missing = []
+    for kernel in kernels:
+        times = _load_event_times(store, calibration, kernel.base, configs)
+        if times is None:
+            missing.append(kernel)
+        else:
+            event_driven[kernel.name] = times
+    if missing:
+        tasks = [(calibration, kernel.base, tuple(configs))
+                 for kernel in missing]
+        simulated = fan_out_processes(
+            _simulate_times, tasks, jobs=context.jobs,
+            labels=[kernel.name for kernel in missing],
+        )
+        for kernel, times in zip(missing, simulated):
+            if store is not None:
+                store.save_record(
+                    EVENTSIM_KIND, (calibration, kernel.base, tuple(configs)),
+                    {"time": np.array(times, dtype=np.float64)},
+                    meta={"kernel_name": kernel.base.name},
+                )
+            event_driven[kernel.name] = times
 
     rows = []
-    for kernel in all_kernels():
+    for kernel in kernels:
         # Every sampled point is a grid point: the analytical times come
         # from the kernel's cached (and store-served) sweep surface.
         surface = platform.grid_sweep(kernel.base)
         analytical = [surface.time_at(config) for config in configs]
-        event_driven = _event_times(
-            event_model, calibration, kernel.base, configs
-        )
+        times = event_driven[kernel.name]
         deviations = [abs(e / a - 1.0)
-                      for a, e in zip(analytical, event_driven)]
+                      for a, e in zip(analytical, times)]
         correlation = pearson(
-            [1.0 / t for t in analytical], [1.0 / t for t in event_driven]
+            [1.0 / t for t in analytical], [1.0 / t for t in times]
         )
         rows.append(ValidationRow(
             kernel=kernel.name,

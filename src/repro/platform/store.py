@@ -59,6 +59,11 @@ STORE_SCHEMA_VERSION = 1
 #: Record kind of full-grid :class:`BatchRunResult` surfaces.
 GRID_KIND = "grid"
 
+#: Record kind of experiment-pipeline result-manifest entries (the exact
+#: formatted report text of one DAG node; see
+#: :class:`repro.runtime.pipeline.ResultManifest`).
+RESULT_KIND = "result"
+
 #: Environment variable overriding the default store directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 

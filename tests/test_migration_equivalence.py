@@ -135,34 +135,31 @@ class TestEventSimEquivalence:
     def test_warm_surface_matches_cold(self, tmp_path, platform):
         """Store-served event-driven times are bitwise the simulator's."""
         from repro.experiments.ext_model_validation import (
-            _event_times, _sample_configs)
+            EVENTSIM_KIND, _load_event_times, _sample_configs,
+            _simulate_times)
         from repro.memory.controller import MemoryControllerModel
         from repro.perf.eventsim import EventDrivenModel
 
         calibration = platform.calibration
+        spec = all_kernels()[0].base
+        configs = _sample_configs(platform.config_space)[:6]
+
+        store = SweepStore(tmp_path / "s")
+        assert _load_event_times(store, calibration, spec, configs) is None
+        cold = _simulate_times((calibration, spec, tuple(configs)))
+        store.save_record(
+            EVENTSIM_KIND, (calibration, spec, tuple(configs)),
+            {"time": np.array(cold, dtype=np.float64)},
+            meta={"kernel_name": spec.name},
+        )
+        warm = _load_event_times(store, calibration, spec, configs)
+        assert cold == warm
         controller = MemoryControllerModel(
             arch=calibration.arch, timing=calibration.gddr5_timing
         )
         event_model = EventDrivenModel(
             calibration.arch, controller, calibration.clock_domain_model()
         )
-        spec = all_kernels()[0].base
-        configs = _sample_configs(platform.config_space)[:6]
-
-        cache = shared_cache()
-        previous = cache.store
-        try:
-            cache.detach_store()
-            cold = _event_times(event_model, calibration, spec, configs)
-            cache.attach_store(SweepStore(tmp_path / "s"))
-            written = _event_times(event_model, calibration, spec, configs)
-            warm = _event_times(event_model, calibration, spec, configs)
-        finally:
-            if previous is None:
-                cache.detach_store()
-            else:
-                cache.attach_store(previous)
-        assert cold == written == warm
         scalar = [event_model.run(spec, c).time for c in configs]
         assert warm == scalar
 

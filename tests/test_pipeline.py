@@ -1,0 +1,268 @@
+"""The experiment DAG scheduler and its content-addressed manifest."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.registry import ExperimentSpec
+from repro.platform.store import SweepStore, content_digest
+from repro.runtime.pipeline import (
+    STATUS_MANIFEST,
+    STATUS_PRUNED,
+    STATUS_RAN,
+    ExperimentPipeline,
+    ResultManifest,
+    format_profile,
+    node_keys,
+    topological_order,
+)
+
+
+def spec(name, deps=(), runner=None, internal=False, version=1, inputs=()):
+    """A toy pipeline node; report nodes render ``<name>=<payload>``."""
+    if runner is None:
+        runner = lambda context, deps_, _n=name: _n.upper()
+    return ExperimentSpec(
+        name=name,
+        module="toy",
+        runner=runner,
+        formatter=None if internal else (lambda p, _n=name: f"{_n}={p}"),
+        deps=tuple(deps),
+        inputs=tuple(inputs),
+        version=version,
+        group="internal" if internal else "core",
+    )
+
+
+class TestTopologicalOrder:
+    def test_respects_deps_and_registration_order(self):
+        specs = [
+            spec("d", deps=("b",)),
+            spec("a"),
+            spec("b", deps=("a",)),
+            spec("c", deps=("a",)),
+        ]
+        order = topological_order(specs)
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c")
+        # Among simultaneously ready nodes, registration order holds.
+        assert order.index("b") < order.index("c")
+
+    def test_duplicate_name_raises(self):
+        with pytest.raises(AnalysisError, match="duplicate"):
+            topological_order([spec("a"), spec("a")])
+
+    def test_unknown_dep_raises(self):
+        with pytest.raises(AnalysisError, match="unknown node 'ghost'"):
+            topological_order([spec("a", deps=("ghost",))])
+
+    def test_cycle_raises_and_names_members(self):
+        specs = [
+            spec("a", deps=("c",)),
+            spec("b", deps=("a",)),
+            spec("c", deps=("b",)),
+            spec("free"),
+        ]
+        with pytest.raises(AnalysisError, match="cycle") as excinfo:
+            topological_order(specs)
+        message = str(excinfo.value)
+        assert "a" in message and "b" in message and "c" in message
+        assert "free" not in message
+
+
+class TestNodeKeys:
+    def make(self, version=1, inputs=("x",), fingerprint="fp"):
+        specs = [
+            spec("base", internal=True),
+            spec("mid", deps=("base",), version=version, inputs=inputs),
+            spec("leaf", deps=("mid",)),
+            spec("other"),
+        ]
+        return node_keys(specs, fingerprint)
+
+    def test_version_bump_invalidates_node_and_dependents(self):
+        old, new = self.make(version=1), self.make(version=2)
+        assert old["mid"] != new["mid"]
+        assert old["leaf"] != new["leaf"]  # chained through dep digests
+        assert old["base"] == new["base"]
+        assert old["other"] == new["other"]
+
+    def test_inputs_change_invalidates_node_and_dependents(self):
+        old, new = self.make(inputs=("x",)), self.make(inputs=("y",))
+        assert old["mid"] != new["mid"]
+        assert old["leaf"] != new["leaf"]
+        assert old["other"] == new["other"]
+
+    def test_fingerprint_change_invalidates_everything(self):
+        old, new = self.make(fingerprint="fp"), self.make(fingerprint="fp2")
+        assert all(old[name] != new[name] for name in old)
+
+    def test_keys_are_digestible(self):
+        keys = self.make()
+        digests = {content_digest(key) for key in keys.values()}
+        assert len(digests) == len(keys)
+
+
+class TestResultManifest:
+    def test_round_trips_exact_text(self, tmp_path):
+        manifest = ResultManifest(SweepStore(tmp_path / "s"))
+        key = (1, "fp", "node", 1, (), ())
+        text = "line one\n  μ-indented line two\n\ttabbed\n"
+        assert manifest.load(key) is None
+        assert manifest.save(key, "node", text)
+        assert manifest.load(key) == text
+
+    def test_distinct_keys_distinct_entries(self, tmp_path):
+        manifest = ResultManifest(SweepStore(tmp_path / "s"))
+        manifest.save((1,), "a", "A")
+        manifest.save((2,), "b", "B")
+        assert manifest.load((1,)) == "A"
+        assert manifest.load((2,)) == "B"
+
+
+def toy_dag(counter):
+    """base -> {mid1, mid2} -> leaf, plus a free leaf; counts runs."""
+    def counting(name, payload_fn):
+        def runner(context, deps, _n=name):
+            with counter["lock"]:
+                counter[_n] = counter.get(_n, 0) + 1
+            return payload_fn(deps)
+        return runner
+
+    return [
+        spec("base", internal=True,
+             runner=counting("base", lambda deps: "B")),
+        spec("mid1", deps=("base",),
+             runner=counting("mid1", lambda deps: deps["base"] + "1")),
+        spec("mid2", deps=("base",),
+             runner=counting("mid2", lambda deps: deps["base"] + "2")),
+        spec("leaf", deps=("mid1", "mid2"),
+             runner=counting(
+                 "leaf", lambda deps: deps["mid1"] + deps["mid2"])),
+        spec("free", runner=counting("free", lambda deps: "F")),
+    ]
+
+
+EXPECTED_REPORTS = {
+    "mid1": "mid1=B1",
+    "mid2": "mid2=B2",
+    "leaf": "leaf=B1B2",
+    "free": "free=F",
+}
+
+
+class TestPipelineRun:
+    def run_pipeline(self, specs, jobs=1, manifest=None):
+        emitted = []
+        pipeline = ExperimentPipeline(
+            specs, context=None, jobs=jobs, manifest=manifest,
+            fingerprint="fp",
+        )
+        result = pipeline.run(
+            emit=lambda name, text, status: emitted.append((name, status)))
+        return result, emitted
+
+    def test_serial_and_parallel_reports_identical(self):
+        counter = {"lock": threading.Lock()}
+        serial, _ = self.run_pipeline(toy_dag(counter), jobs=1)
+        parallel, _ = self.run_pipeline(toy_dag(counter), jobs=4)
+        assert dict(serial.reports) == EXPECTED_REPORTS
+        assert dict(parallel.reports) == dict(serial.reports)
+
+    def test_shared_dependency_runs_once(self):
+        counter = {"lock": threading.Lock()}
+        result, _ = self.run_pipeline(toy_dag(counter), jobs=4)
+        assert counter["base"] == 1
+        assert set(result.ran()) == {"base", "mid1", "mid2", "leaf", "free"}
+
+    def test_manifest_serves_everything_and_prunes_internals(self, tmp_path):
+        manifest = ResultManifest(SweepStore(tmp_path / "s"))
+        counter = {"lock": threading.Lock()}
+        cold, cold_emits = self.run_pipeline(
+            toy_dag(counter), jobs=2, manifest=manifest)
+        assert all(status == STATUS_RAN for _, status in cold_emits)
+
+        warm, warm_emits = self.run_pipeline(
+            toy_dag(counter), jobs=2, manifest=manifest)
+        assert dict(warm.reports) == dict(cold.reports)
+        assert set(warm.served()) == set(EXPECTED_REPORTS)
+        assert warm.ran() == ()
+        # The shared internal node never re-ran...
+        assert counter["base"] == 1
+        # ...because it was pruned, not served (internal nodes have no
+        # report text to store).
+        statuses = {t.name: t.status for t in warm.timings}
+        assert statuses["base"] == STATUS_PRUNED
+        # Manifest-served nodes emit in registration order.
+        assert [name for name, _ in warm_emits] == list(EXPECTED_REPORTS)
+        assert all(s == STATUS_MANIFEST for _, s in warm_emits)
+
+    def test_partial_invalidation_reruns_exact_subgraph(self, tmp_path):
+        manifest = ResultManifest(SweepStore(tmp_path / "s"))
+        counter = {"lock": threading.Lock()}
+        self.run_pipeline(toy_dag(counter), manifest=manifest)
+
+        # Bump mid1's version: mid1 and leaf (chained) must re-run, which
+        # drags the pruned-last-time internal base back in; mid2 and free
+        # stay served.
+        bumped = toy_dag(counter)
+        bumped[1] = spec(
+            "mid1", deps=("base",), version=2,
+            runner=bumped[1].runner)
+        result, _ = self.run_pipeline(bumped, manifest=manifest)
+        assert set(result.served()) == {"mid2", "free"}
+        assert set(result.ran()) == {"base", "mid1", "leaf"}
+        assert dict(result.reports) == EXPECTED_REPORTS
+
+    def test_no_manifest_recomputes(self, tmp_path):
+        counter = {"lock": threading.Lock()}
+        self.run_pipeline(toy_dag(counter))
+        self.run_pipeline(toy_dag(counter))
+        assert counter["base"] == 2  # no manifest, no serving
+
+    def test_failure_names_the_node_and_stops_scheduling(self):
+        def boom(context, deps):
+            raise RuntimeError("kaput")
+
+        specs = [
+            spec("ok"),
+            spec("bad", runner=boom),
+            spec("downstream", deps=("bad",)),
+        ]
+        with pytest.raises(RuntimeError, match="kaput") as excinfo:
+            self.run_pipeline(specs, jobs=2)
+        assert any("pipeline node 'bad'" in note
+                   for note in getattr(excinfo.value, "__notes__", []))
+
+    def test_budget_bounds_node_concurrency(self):
+        live = {"now": 0, "peak": 0}
+        lock = threading.Lock()
+
+        def tracked(context, deps):
+            with lock:
+                live["now"] += 1
+                live["peak"] = max(live["peak"], live["now"])
+            time.sleep(0.02)
+            with lock:
+                live["now"] -= 1
+            return "x"
+
+        specs = [spec(f"n{i}", runner=tracked) for i in range(6)]
+        self.run_pipeline(specs, jobs=2)
+        assert live["peak"] <= 2
+
+    def test_profile_and_critical_path(self):
+        counter = {"lock": threading.Lock()}
+        result, _ = self.run_pipeline(toy_dag(counter), jobs=1)
+        # The heaviest chain must be a real dependency chain ending in a
+        # node someone depends on transitively from its head.
+        assert result.critical_path
+        assert result.critical_path_s <= result.wall_s * 1.5 + 1e-6
+        text = format_profile(result)
+        assert "critical path:" in text
+        for name in EXPECTED_REPORTS:
+            assert name in text
