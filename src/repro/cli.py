@@ -187,26 +187,52 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_telemetry_report(args: argparse.Namespace) -> int:
-    """Summarize a JSONL telemetry trace."""
+    """Summarize a JSONL event trace, a span trace, or a metrics export."""
     from repro.errors import TelemetryError
-    from repro.telemetry.export import load_events
     from repro.telemetry.report import (
         cache_effectiveness_from_metrics, format_report, summarize)
 
-    try:
-        events = load_events(args.trace)
-    except FileNotFoundError:
-        print(f"no such trace file: {args.trace}", file=sys.stderr)
+    if not (args.trace or args.spans or args.metrics):
+        print("telemetry-report needs a trace file, --spans, or --metrics",
+              file=sys.stderr)
         return 2
-    except TelemetryError as error:
-        print(f"unreadable trace {args.trace}: {error}", file=sys.stderr)
-        return 2
-    if not events:
-        print(f"trace {args.trace} holds no events", file=sys.stderr)
-        return 2
-    print(format_report(summarize(events)))
+
+    first = True
+    if args.trace:
+        from repro.telemetry.export import load_events
+        try:
+            events = load_events(args.trace)
+        except FileNotFoundError:
+            print(f"no such trace file: {args.trace}", file=sys.stderr)
+            return 2
+        except TelemetryError as error:
+            print(f"unreadable trace {args.trace}: {error}", file=sys.stderr)
+            return 2
+        if not events:
+            print(f"trace {args.trace} holds no events", file=sys.stderr)
+            return 2
+        print(format_report(summarize(events)))
+        first = False
+
+    if args.spans:
+        from repro.telemetry.spans import format_span_report, load_chrome_trace
+        try:
+            records = load_chrome_trace(args.spans)
+        except FileNotFoundError:
+            print(f"no such span trace: {args.spans}", file=sys.stderr)
+            return 2
+        except TelemetryError as error:
+            print(f"unreadable span trace {args.spans}: {error}",
+                  file=sys.stderr)
+            return 2
+        if not first:
+            print()
+        print(format_span_report(records))
+        first = False
+
     if args.metrics:
         import json
+        from repro.telemetry.metrics import MetricsRegistry
         try:
             with open(args.metrics) as handle:
                 metrics = json.load(handle)
@@ -214,10 +240,29 @@ def cmd_telemetry_report(args: argparse.Namespace) -> int:
             print(f"unreadable metrics file {args.metrics}: {error}",
                   file=sys.stderr)
             return 2
-        line = cache_effectiveness_from_metrics(metrics)
-        print()
-        print(line if line is not None
-              else "sweep cache: no series in the metrics export")
+        if args.prometheus or args.metrics_out:
+            try:
+                exposition = MetricsRegistry.from_dict(metrics)\
+                    .render_prometheus()
+            except TelemetryError as error:
+                print(f"bad metrics snapshot {args.metrics}: {error}",
+                      file=sys.stderr)
+                return 2
+            if args.metrics_out:
+                with open(args.metrics_out, "w") as handle:
+                    handle.write(exposition)
+                print(f"prometheus exposition written to {args.metrics_out}")
+            if args.prometheus:
+                if not first:
+                    print()
+                print(exposition, end="")
+                first = False
+        else:
+            line = cache_effectiveness_from_metrics(metrics)
+            if not first:
+                print()
+            print(line if line is not None
+                  else "sweep cache: no series in the metrics export")
     return 0
 
 
@@ -403,17 +448,23 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
     out_dir = pathlib.Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
-    store = _attach_store(args)
+
+    telemetry = None
+    if args.trace or args.metrics_out:
+        from repro.telemetry import Telemetry
+        telemetry = Telemetry()
+    store = _attach_store(args, telemetry=telemetry)
     jobs = resolve_jobs(args.jobs)
     context = ExperimentContext(jobs=jobs)
 
     manifest = None
     if store is not None and not args.no_incremental:
-        manifest = ResultManifest(store)
+        manifest = ResultManifest(store, telemetry=telemetry)
     pipeline = ExperimentPipeline(
         reproduce_specs(include_ablations=args.ablations), context,
         jobs=jobs, manifest=manifest,
         fingerprint=reproduce_fingerprint(context),
+        telemetry=telemetry,
     )
 
     started = time.time()
@@ -426,7 +477,14 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         tag = "  (manifest)" if status == STATUS_MANIFEST else ""
         print(f"[{count:2d}] {name}{tag}")
 
-    result = pipeline.run(emit)
+    if telemetry is not None:
+        # One root span over the whole run: every pipeline node (and the
+        # store/batch/Monte-Carlo spans below them, across thread and
+        # process workers) nests under it in the exported trace.
+        with telemetry.span("reproduce", jobs=jobs):
+            result = pipeline.run(emit)
+    else:
+        result = pipeline.run(emit)
 
     print(f"\n{count} reports written to {out_dir} "
           f"in {time.time() - started:.1f}s")
@@ -459,6 +517,69 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         bytes_read=store_stats.bytes_read if store_stats else 0,
         bytes_written=store_stats.bytes_written if store_stats else 0,
     ))
+    if telemetry is not None:
+        if args.trace:
+            from repro.telemetry import write_chrome_trace
+            written = write_chrome_trace(args.trace,
+                                         telemetry.spans.records())
+            print(f"\nspan trace: {written} spans written to {args.trace}\n"
+                  f"(open in Perfetto / chrome://tracing, or summarize "
+                  f"with: python -m repro telemetry-report "
+                  f"--spans {args.trace})")
+        if args.metrics_out:
+            shared_cache().publish(telemetry)
+            telemetry.metrics.write_json(args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _load_ledger_module():
+    """Import :mod:`benchmarks.ledger`, tolerating a src-only sys.path.
+
+    The ledger lives beside the benchmarks (it is their data model, not
+    runtime code); when ``repro`` was imported from ``src`` alone, the
+    repository root is appended so the module resolves in a dev checkout.
+    """
+    try:
+        from benchmarks import ledger
+        return ledger
+    except ImportError:
+        import pathlib
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        if not (repo_root / "benchmarks" / "ledger.py").exists():
+            raise
+        sys.path.insert(0, str(repo_root))
+        from benchmarks import ledger
+        return ledger
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    """Report benchmark trends and regression-gate status from the ledger."""
+    try:
+        ledger = _load_ledger_module()
+    except ImportError as error:
+        print(f"bench ledger unavailable: {error}", file=sys.stderr)
+        return 2
+
+    path = args.ledger if args.ledger else ledger.default_ledger_path()
+    entries = ledger.read_entries(path)
+    if not entries:
+        print(f"ledger {path} holds no entries; ingest BENCH_*.json runs "
+              f"with: python tools/bench_gate.py ingest BENCH_foo.json",
+              file=sys.stderr)
+        return 2
+    if args.bench:
+        entries = [entry for entry in entries if entry.bench in args.bench]
+        if not entries:
+            print(f"ledger {path} holds no entries for {args.bench}",
+                  file=sys.stderr)
+            return 2
+    print(ledger.format_trend_report(entries, window=args.window))
+    if args.check:
+        results = ledger.evaluate_all_gates(entries, window=args.window)
+        if any(result.status == ledger.STATUS_REGRESSION
+               for result in results):
+            return 1
     return 0
 
 
@@ -499,12 +620,23 @@ def build_parser() -> argparse.ArgumentParser:
     report_p = sub.add_parser(
         "telemetry-report",
         help="summarize a JSONL telemetry trace (action mix, phases, "
-             "residency, top kernels)",
+             "residency, top kernels), a Chrome span trace, or a "
+             "metrics export",
     )
-    report_p.add_argument("trace", help="path to a --trace JSONL file")
+    report_p.add_argument("trace", nargs="?", default=None,
+                          help="path to a --trace JSONL event file")
+    report_p.add_argument("--spans", metavar="PATH", default=None,
+                          help="self-vs-total and critical-path report of "
+                               "a Chrome span trace (reproduce --trace)")
     report_p.add_argument("--metrics", metavar="PATH", default=None,
-                          help="also summarize sweep-cache effectiveness "
-                               "from a --metrics-out JSON export")
+                          help="summarize sweep-cache effectiveness from a "
+                               "--metrics-out JSON export")
+    report_p.add_argument("--prometheus", action="store_true",
+                          help="print --metrics as Prometheus text "
+                               "exposition instead")
+    report_p.add_argument("--metrics-out", metavar="PATH", default=None,
+                          help="write the Prometheus exposition of "
+                               "--metrics to PATH")
     report_p.set_defaults(func=cmd_telemetry_report)
 
     eval_p = sub.add_parser("evaluate", help="the Figures 10-13 headline",
@@ -571,7 +703,30 @@ def build_parser() -> argparse.ArgumentParser:
     repro_p.add_argument("--profile-json", metavar="PATH", default=None,
                          help="write the per-node wall/CPU timings and the "
                               "critical path to PATH as JSON")
+    repro_p.add_argument("--trace", metavar="PATH", default=None,
+                         help="write a Chrome trace-event JSON of the run's "
+                              "span tree to PATH (open in Perfetto)")
+    repro_p.add_argument("--metrics-out", metavar="PATH", default=None,
+                         help="write the aggregated metrics registry "
+                              "(merged across all workers) to PATH as JSON")
     repro_p.set_defaults(func=cmd_reproduce)
+
+    bench_p = sub.add_parser(
+        "bench-report",
+        help="benchmark trend ledger: history, baselines and gate status",
+    )
+    bench_p.add_argument("--ledger", metavar="PATH", default=None,
+                         help="ledger JSONL file (default: "
+                              "benchmarks/ledger.jsonl)")
+    bench_p.add_argument("--bench", action="append", default=None,
+                         metavar="NAME",
+                         help="restrict to one benchmark (repeatable)")
+    bench_p.add_argument("--window", type=int, default=5, metavar="N",
+                         help="baseline window: median of up to N prior "
+                              "entries (default: 5)")
+    bench_p.add_argument("--check", action="store_true",
+                         help="exit 1 when any gate reports a regression")
+    bench_p.set_defaults(func=cmd_bench_report)
 
     return parser
 

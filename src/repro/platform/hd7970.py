@@ -19,6 +19,7 @@ scalar and vectorized paths.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Hashable, Optional, Sequence
 
 import numpy as np
@@ -86,8 +87,12 @@ class HardwarePlatform:
         # Per-spec surface memo for the launch fast path: keyed by the
         # (cheaply hashable) KernelSpec alone, since calibration and grid
         # are fixed per platform instance. Entries are deterministic, so
-        # a memoized reference can never go stale.
+        # a memoized reference can never go stale. Population is
+        # double-checked under the lock so concurrent launch threads
+        # produce exactly one grid_sweep (and one sweep-cache lookup)
+        # per spec — keeping cache counters scheduling-independent.
         self._launch_surfaces: dict = {}
+        self._launch_surfaces_lock = threading.Lock()
 
     # --- accessors ------------------------------------------------------------
 
@@ -152,8 +157,15 @@ class HardwarePlatform:
         if count <= 0:
             return
         self._noise_clips += count
-        if self._telemetry.enabled:
-            self._telemetry.metrics.counter(
+        telemetry = self._telemetry
+        if not telemetry.enabled:
+            # Platforms are often built without telemetry; under a
+            # traced run the ambient span's handle still collects the
+            # clip counter, so aggregation stays exact under --jobs N.
+            from repro.telemetry.spans import ambient_telemetry
+            telemetry = ambient_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.counter(
                 "noise_floor_clips_total",
                 "noise draws clipped at the multiplier floor",
             ).inc(count, kernel=spec.name)
@@ -332,8 +344,11 @@ class HardwarePlatform:
         # full (calibration, spec, axes) cache key.
         surface = self._launch_surfaces.get(spec)
         if surface is None:
-            surface = self.grid_sweep(spec)
-            self._launch_surfaces[spec] = surface
+            with self._launch_surfaces_lock:
+                surface = self._launch_surfaces.get(spec)
+                if surface is None:
+                    surface = self.grid_sweep(spec)
+                    self._launch_surfaces[spec] = surface
         return surface.result_at_config(config)
 
     def sweep_cache_key(self, spec: KernelSpec) -> Hashable:
@@ -374,10 +389,20 @@ class HardwarePlatform:
         """
         if cache is None:
             cache = shared_cache()
-        batch = cache.get_or_compute(
-            self.sweep_cache_key(spec),
-            lambda: self._run_batch_clean(spec),
-        )
+
+        def compute() -> BatchRunResult:
+            # Only cache misses pay the full-grid evaluation; span it so
+            # a traced run shows exactly which kernels were recomputed
+            # and where that time went, even when this platform carries
+            # no telemetry handle of its own.
+            telemetry = self._telemetry
+            if not telemetry.enabled:
+                from repro.telemetry.spans import ambient_telemetry
+                telemetry = ambient_telemetry()
+            with telemetry.span("batch_sweep.compute", kernel=spec.name):
+                return self._run_batch_clean(spec)
+
+        batch = cache.get_or_compute(self.sweep_cache_key(spec), compute)
         if self._noise > 0:
             batch = self._perturb(batch, spec, iteration)
         return batch

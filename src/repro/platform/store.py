@@ -357,6 +357,20 @@ class SweepStore:
         from repro.telemetry.handle import coalesce
         self._telemetry = coalesce(telemetry)
 
+    def _tel(self):
+        """The handle to record into: own if live, else the ambient one.
+
+        A store constructed without telemetry still participates in a
+        traced run (``reproduce --trace``): operations issued under an
+        open span fall back to that span's handle, so store spans and
+        counters land in the run's tree instead of vanishing.
+        """
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            return telemetry
+        from repro.telemetry.spans import ambient_telemetry
+        return ambient_telemetry()
+
     def stats(self) -> StoreStats:
         """Cumulative hit/miss/byte counts since construction."""
         with self._lock:
@@ -390,9 +404,10 @@ class SweepStore:
         record_meta["schema"] = STORE_SCHEMA_VERSION
         record_meta["kind"] = kind
         record_meta["digest"] = digest
+        telemetry = self._tel()
         tmp = None
         try:
-            with self._telemetry.time("sweep_store.save"):
+            with telemetry.span("sweep_store.save", kind=kind):
                 fd, tmp = tempfile.mkstemp(
                     dir=self._root, prefix=final.stem + ".", suffix=".tmp.npz"
                 )
@@ -412,7 +427,7 @@ class SweepStore:
                     pass
         with self._lock:
             self._bytes_written += written
-        self._telemetry.metrics.counter(
+        telemetry.metrics.counter(
             "sweep_store_bytes", "bytes moved through the sweep store",
         ).inc(written, direction="write")
         return True
@@ -432,8 +447,9 @@ class SweepStore:
         meta: Dict[str, Any] = {}
         invalid = False
         size = 0
+        telemetry = self._tel()
         try:
-            with self._telemetry.time("sweep_store.load"):
+            with telemetry.span("sweep_store.load", kind=kind):
                 size = os.stat(path).st_size
                 with np.load(path, allow_pickle=False) as data:
                     meta = json.loads(str(data["__meta__"][()]))
@@ -459,7 +475,7 @@ class SweepStore:
                 self._misses += 1
                 if invalid:
                     self._invalid += 1
-        metrics = self._telemetry.metrics
+        metrics = self._tel().metrics
         if hit:
             metrics.counter(
                 "sweep_store_hits_total", "sweep store records served",

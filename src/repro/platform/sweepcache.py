@@ -107,6 +107,10 @@ class SweepCache:
         self._misses = 0
         self._store_hits = 0
         self._store_misses = 0
+        # Single-flight: one in-flight marker per key being computed, so
+        # concurrent lookups of the same key wait for the leader instead
+        # of duplicating the compute.
+        self._inflight: dict = {}
 
     # --- the persistent tier ---------------------------------------------------
 
@@ -134,34 +138,60 @@ class SweepCache:
         is promoted into memory), then ``compute`` — whose result is
         inserted into memory and written through to the store. Store
         reads and writes run outside the lock, like ``compute``: a slow
-        disk does not block concurrent lookups of other kernels, and if
-        two threads race on the same key both compute and the second
-        result wins (results are deterministic, so the duplicates are
-        identical).
+        disk does not block concurrent lookups of other kernels.
+
+        Misses are **single-flight**: when two threads race on one key,
+        the first becomes the leader and computes; the rest wait and are
+        then served from memory as ordinary hits. Besides not wasting a
+        duplicate grid evaluation, this keeps the hit/miss counters
+        exactly scheduling-independent — a ``--jobs N`` run reports the
+        same counts as the serial run, which the cross-worker metric
+        aggregation tests rely on.
         """
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                self._entries.move_to_end(key)
-                self._hits += 1
-                return entry
-            self._misses += 1
-        store = self._store
-        if store is not None:
-            entry = store.load_batch(key)
+        while True:
             with self._lock:
+                entry = self._entries.get(key)
                 if entry is not None:
-                    self._store_hits += 1
-                else:
-                    self._store_misses += 1
-            if entry is not None:
-                self._insert(key, entry)
-                return entry
-        result = compute()
-        self._insert(key, result)
-        if store is not None:
-            store.save_batch(key, result)
-        return result
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return entry
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    self._misses += 1
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    break
+            # Another thread is computing this key: wait, then re-check
+            # (the leader may have failed — then this thread leads).
+            waiter.wait()
+        try:
+            # The whole miss path is one "fill" span: store probe,
+            # compute, write-through. Which caller leads a *shared* fill
+            # is scheduling-dependent, so traces are compared with fill
+            # subtrees detached (tree_signature(..., detach=...)) —
+            # everything inside the fill is deterministic.
+            from repro.telemetry.spans import ambient_telemetry
+            with ambient_telemetry().span("sweep_cache.fill"):
+                store = self._store
+                if store is not None:
+                    entry = store.load_batch(key)
+                    with self._lock:
+                        if entry is not None:
+                            self._store_hits += 1
+                        else:
+                            self._store_misses += 1
+                    if entry is not None:
+                        self._insert(key, entry)
+                        return entry
+                result = compute()
+                self._insert(key, result)
+                if store is not None:
+                    store.save_batch(key, result)
+                return result
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            event.set()
 
     def _insert(self, key: Hashable, result: BatchRunResult) -> None:
         with self._lock:

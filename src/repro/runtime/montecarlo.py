@@ -232,7 +232,20 @@ class MonteCarloEngine:
         noise matrix over ``(seed, launch)`` is then generated from the
         keyed models and reduced to per-seed run metrics — no per-seed
         re-execution of the policy loop.
+
+        Under a traced run the whole rollout is one span (labelled by
+        application and policy), attached to whatever span was open on
+        the calling thread — typically a pipeline node or a fan-out
+        worker.
         """
+        from repro.telemetry.spans import ambient_telemetry
+        with ambient_telemetry().span(
+                "montecarlo.rollout",
+                application=application.name, policy=policy.name):
+            return self._rollout(application, policy)
+
+    def _rollout(self, application: Application,
+                 policy: PowerPolicy) -> MonteCarloRun:
         reference = ApplicationRunner(self._platform).run(application, policy)
         records = reference.trace.records
         launches = list(application.launches())

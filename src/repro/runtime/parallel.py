@@ -34,6 +34,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterator, List, Optional, Sequence, TypeVar
 
 from repro.errors import AnalysisError
+from repro.telemetry.spans import capture_span_context, use_span_context
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -198,6 +199,16 @@ def fan_out(fn: Callable[[T], R], items: Sequence[T], jobs: int = 1,
     if jobs == 1 or total <= 1:
         return [invoke(i, item) for i, item in enumerate(items)]
 
+    # Pool threads do not inherit contextvars from the submitting
+    # thread: re-install the ambient span context in each worker so
+    # spans opened inside fn attach to the same parent as in the serial
+    # path — the span tree is jobs-invariant.
+    span_context = capture_span_context()
+
+    def invoke_in_context(index: int, item: T) -> R:
+        with use_span_context(span_context):
+            return invoke(index, item)
+
     workers = min(jobs, total)
     budget = active_budget()
     borrowed = 0
@@ -211,12 +222,33 @@ def fan_out(fn: Callable[[T], R], items: Sequence[T], jobs: int = 1,
         if workers == 1:
             return [invoke(i, item) for i, item in enumerate(items)]
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(invoke, i, item)
+            futures = [pool.submit(invoke_in_context, i, item)
                        for i, item in enumerate(items)]
             return [future.result() for future in futures]
     finally:
         if borrowed:
             budget.release(borrowed)
+
+
+def _remote_invoke(payload):
+    """Top-level process-pool worker running one item under telemetry.
+
+    Forked workers share nothing with the parent, so a **shadow**
+    telemetry handle is built here: a fresh metrics registry plus a span
+    tracker that inherits the parent's epoch (``perf_counter`` is
+    system-wide monotonic, so timestamps stay on one timeline) and
+    parents its roots on the submitting span. The shadow's records and
+    metrics snapshot travel back with the result; the parent merges
+    them, which is how counters stay exact and the span tree stays
+    whole under ``--jobs N``.
+    """
+    fn, item, label, parent_id, epoch = payload
+    from repro.telemetry.handle import Telemetry
+    from repro.telemetry.spans import SpanTracker
+    shadow = Telemetry(spans=SpanTracker(epoch=epoch, root_parent=parent_id))
+    with shadow.span("fan_out_processes", item=label):
+        result = fn(item)
+    return result, shadow.spans.records(), shadow.metrics.as_dict()
 
 
 def fan_out_processes(fn: Callable[[T], R], items: Sequence[T],
@@ -232,8 +264,12 @@ def fan_out_processes(fn: Callable[[T], R], items: Sequence[T],
 
     * ``fn`` must be a **pure, top-level** function and ``fn``/``items``/
       results must be picklable — workers share nothing with the parent,
-      so side effects (store writes, telemetry, cache fills) are lost;
-      keep them in the caller.
+      so side effects (store writes, cache fills) are lost; keep them in
+      the caller. Telemetry is the exception: when the call happens
+      under an open span, each worker runs under a shadow handle whose
+      span records and metrics snapshot are merged back into the
+      parent's (see :func:`_remote_invoke`), so traced runs keep exact
+      counters and one whole span tree across the process boundary.
     * Platforms without the ``fork`` start method (or ``jobs`` resolving
       to 1) degrade to the plain serial loop — results are identical
       either way, the pool is purely an accelerator.
@@ -261,11 +297,25 @@ def fan_out_processes(fn: Callable[[T], R], items: Sequence[T],
                 f"fan_out: item {index + 1}/{total} ({label}) failed"
             )
 
+    span_context = capture_span_context()
+
+    def item_label(index: int) -> str:
+        return (labels[index] if labels is not None
+                else _item_label(items[index]))
+
     def serial() -> List[R]:
         results = []
         for index, item in enumerate(items):
             try:
-                results.append(fn(item))
+                if span_context is not None:
+                    # Mirror the span the pooled path's worker opens, so
+                    # the tree shape is identical whether work forked or
+                    # degraded to the serial loop.
+                    with span_context.telemetry.span(
+                            "fan_out_processes", item=item_label(index)):
+                        results.append(fn(item))
+                else:
+                    results.append(fn(item))
             except Exception as error:
                 attach_note(error, index)
                 raise
@@ -293,14 +343,31 @@ def fan_out_processes(fn: Callable[[T], R], items: Sequence[T],
     try:
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=context) as pool:
-            futures = [pool.submit(fn, item) for item in items]
+            if span_context is None:
+                futures = [pool.submit(fn, item) for item in items]
+            else:
+                futures = [
+                    pool.submit(_remote_invoke, (
+                        fn, item, item_label(index),
+                        span_context.span_id,
+                        span_context.tracker.epoch,
+                    ))
+                    for index, item in enumerate(items)
+                ]
             results = []
             for index, future in enumerate(futures):
                 try:
-                    results.append(future.result())
+                    outcome = future.result()
                 except Exception as error:
                     attach_note(error, index)
                     raise
+                if span_context is None:
+                    results.append(outcome)
+                else:
+                    result, span_records, metrics_snapshot = outcome
+                    span_context.tracker.extend(span_records)
+                    span_context.telemetry.metrics.merge(metrics_snapshot)
+                    results.append(result)
             return results
     finally:
         if borrowed:

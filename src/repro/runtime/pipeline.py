@@ -41,6 +41,7 @@ from repro.analysis.report import format_table
 from repro.errors import AnalysisError
 from repro.platform.store import RESULT_KIND, SweepStore, content_digest
 from repro.runtime.parallel import WorkerBudget, budget_scope
+from repro.telemetry.spans import capture_span_context, use_span_context
 
 #: Bump whenever node payloads/formatting change globally; every manifest
 #: entry then reads as a miss and is transparently recomputed. Per-node
@@ -341,12 +342,19 @@ class ExperimentPipeline:
             stack.extend(self._by_name[name].deps)
         return needed
 
-    def _run_node(self, spec) -> Tuple[Any, Optional[str], float, float]:
+    def _run_node(self, spec, span_context=None
+                  ) -> Tuple[Any, Optional[str], float, float]:
         self._budget.acquire()
         try:
             t0 = time.perf_counter()
             c0 = time.thread_time()
-            with self._telemetry.time(f"pipeline.{spec.name}"):
+            # Pool threads don't inherit contextvars: re-install the
+            # scheduler's span context so node spans nest under the
+            # run's root span, then open the node span — store loads
+            # and batch sweeps below attach as its children.
+            with use_span_context(span_context), \
+                    self._telemetry.span(f"pipeline.{spec.name}",
+                                         node=spec.name):
                 deps = {dep: self._results[dep] for dep in spec.deps}
                 payload = spec.runner(self._context, deps)
                 text = (spec.formatter(payload)
@@ -373,13 +381,15 @@ class ExperimentPipeline:
                  if name in needed and indegree[name] == 0]
         futures: Dict[Future, str] = {}
         failure: Optional[Tuple[str, BaseException]] = None
+        span_context = capture_span_context()
 
         with budget_scope(self._budget), \
                 ThreadPoolExecutor(max_workers=self._budget.jobs) as pool:
             while ready or futures:
                 while ready and failure is None:
                     name = ready.pop(0)
-                    future = pool.submit(self._run_node, self._by_name[name])
+                    future = pool.submit(self._run_node, self._by_name[name],
+                                         span_context)
                     futures[future] = name
                 if not futures:
                     break

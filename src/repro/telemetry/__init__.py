@@ -1,6 +1,6 @@
 """Structured telemetry for the Harmonia runtime.
 
-Four pieces, composable through one injectable handle:
+Five pieces, composable through one injectable handle:
 
 * :mod:`repro.telemetry.events` — typed controller-decision events
   (``KernelLaunch``, ``PhaseChange``, ``CGJump``, ``FGStep``, ...) with a
@@ -10,7 +10,10 @@ Four pieces, composable through one injectable handle:
 * :mod:`repro.telemetry.export` — append-only JSONL sink, loader, and a
   replay view compatible with :class:`~repro.runtime.trace.RunTrace`,
 * :mod:`repro.telemetry.profile` — wall-time profiling hooks for the
-  simulator and policy hot paths.
+  simulator and policy hot paths,
+* :mod:`repro.telemetry.spans` — hierarchical spans with ambient context
+  propagation across thread/process fan-out, Chrome trace-event export
+  (Perfetto-loadable) and a self-vs-total critical-path report.
 
 Instrumented components accept a :class:`Telemetry` handle and default to
 :data:`NULL_TELEMETRY`, whose operations are no-ops — with telemetry
@@ -42,6 +45,20 @@ from repro.telemetry.export import (
 from repro.telemetry.handle import NULL_TELEMETRY, NullTelemetry, Telemetry, coalesce
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.profile import Profiler, SectionStat
+from repro.telemetry.spans import (
+    SPAN_SCHEMA_VERSION,
+    SpanRecord,
+    SpanTracker,
+    aggregate_spans,
+    ambient_telemetry,
+    capture_span_context,
+    format_span_report,
+    load_chrome_trace,
+    span_tree,
+    tree_signature,
+    use_span_context,
+    write_chrome_trace,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -71,4 +88,16 @@ __all__ = [
     "Histogram",
     "Profiler",
     "SectionStat",
+    "SPAN_SCHEMA_VERSION",
+    "SpanRecord",
+    "SpanTracker",
+    "aggregate_spans",
+    "ambient_telemetry",
+    "capture_span_context",
+    "format_span_report",
+    "load_chrome_trace",
+    "span_tree",
+    "tree_signature",
+    "use_span_context",
+    "write_chrome_trace",
 ]

@@ -61,8 +61,16 @@ class JsonlSink:
             self._file.flush()
 
     def close(self) -> None:
-        """Flush and close the underlying file (idempotent)."""
+        """Flush, fsync and close the underlying file (idempotent).
+
+        The fsync makes the trace durable at close: a machine crash
+        right after a clean run cannot lose buffered tail records. A
+        crash *mid*-run can still truncate the final line — the loader
+        tolerates exactly that (see :func:`load_records`).
+        """
         if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
             self._file.close()
             self._file = None
 
@@ -85,18 +93,26 @@ class InMemorySink:
 
 
 def load_records(path) -> Iterator[dict]:
-    """Yield raw JSON records from a JSONL trace file."""
+    """Yield raw JSON records from a JSONL trace file.
+
+    A truncated **final** line — the footprint of a writer that crashed
+    mid-append — is silently dropped, so the readable prefix of a
+    crashed run replays cleanly. Malformed JSON anywhere *before* the
+    final line is still an error: that is corruption, not truncation.
+    """
     with open(path) as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                yield json.loads(line)
-            except json.JSONDecodeError as error:
-                raise TelemetryError(
-                    f"{path}:{line_number}: not valid JSON ({error})"
-                ) from None
+        lines = [(number, line.strip())
+                 for number, line in enumerate(handle, start=1)
+                 if line.strip()]
+    for position, (line_number, line) in enumerate(lines):
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError as error:
+            if position == len(lines) - 1:
+                return  # truncated tail of a crashed writer
+            raise TelemetryError(
+                f"{path}:{line_number}: not valid JSON ({error})"
+            ) from None
 
 
 def load_events(path) -> List[TelemetryEvent]:

@@ -16,24 +16,33 @@ from typing import Any, Iterable, List, Optional
 from repro.telemetry.events import TelemetryEvent
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.profile import NULL_SECTION, Profiler
+from repro.telemetry.spans import (
+    NULL_SPAN_TRACKER,
+    SpanHandle,
+    SpanTracker,
+)
 
 
 class Telemetry:
-    """A live telemetry handle: event sinks + metrics + profiler.
+    """A live telemetry handle: event sinks + metrics + profiler + spans.
 
     Args:
         sink: optional initial event sink (anything with ``write(event)``).
         metrics: metrics registry to use (fresh one by default).
         profiler: profiler to use (fresh one by default).
+        spans: span tracker to use (fresh one by default); forked workers
+            pass a shadow tracker sharing the parent's epoch.
     """
 
     enabled = True
 
     def __init__(self, sink: Optional[Any] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 profiler: Optional[Profiler] = None):
+                 profiler: Optional[Profiler] = None,
+                 spans: Optional[SpanTracker] = None):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.profiler = profiler if profiler is not None else Profiler()
+        self.spans = spans if spans is not None else SpanTracker()
         self._sinks: List[Any] = [sink] if sink is not None else []
 
     @property
@@ -58,6 +67,17 @@ class Telemetry:
     def time(self, name: str):
         """Context manager timing a profiler section."""
         return self.profiler.section(name)
+
+    def span(self, name: str, **labels: Any) -> SpanHandle:
+        """Context manager opening a hierarchical span (plus profiler
+        section of the same name, so profile and span totals agree).
+
+        The open span becomes the ambient parent for spans entered
+        below it on the same thread (see
+        :func:`~repro.telemetry.spans.capture_span_context` for how
+        fan-out carries it across workers).
+        """
+        return SpanHandle(self, self.spans, name, labels)
 
     def close(self) -> None:
         """Close every sink that supports closing."""
@@ -137,6 +157,7 @@ class NullTelemetry:
 
     metrics = _NullRegistry()
     profiler = _NullProfiler()
+    spans = NULL_SPAN_TRACKER
 
     def emit(self, event: Any) -> None:
         pass
@@ -145,6 +166,9 @@ class NullTelemetry:
         pass
 
     def time(self, name: str):
+        return NULL_SECTION
+
+    def span(self, name: str, **labels: Any):
         return NULL_SECTION
 
     def add_sink(self, sink: Any) -> None:

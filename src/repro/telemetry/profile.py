@@ -6,6 +6,13 @@ context managers (``with profiler.section("fg.propose"): ...``) or the
 run's wall time go" — launch model vs monitoring vs CG prediction vs FG
 search — which is the measurement substrate every perf PR needs.
 
+Sections nest: each thread keeps its **own** stack of open sections
+(``threading.local``), so concurrent pipeline nodes timing the same
+names never interleave into one flat chain, and a section's *self* time
+(total minus directly nested children on the same thread) is accounted
+correctly under parallel fan-out. Accumulation itself is behind one
+lock, so many worker threads can record into one shared profiler.
+
 The null path (:data:`NULL_PROFILER`) reuses one no-op context manager so
 instrumented code pays a single attribute lookup when profiling is off.
 """
@@ -13,6 +20,7 @@ instrumented code pays a single attribute lookup when profiling is off.
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List
@@ -25,11 +33,17 @@ class SectionStat:
     name: str
     count: int
     total_s: float
+    child_s: float = 0.0
 
     @property
     def mean_s(self) -> float:
         """Mean wall time per entry (0 for an un-entered section)."""
         return self.total_s / self.count if self.count else 0.0
+
+    @property
+    def self_s(self) -> float:
+        """Wall time excluding directly nested sections."""
+        return max(0.0, self.total_s - self.child_s)
 
 
 class _Section:
@@ -43,11 +57,19 @@ class _Section:
         self._start = 0.0
 
     def __enter__(self) -> "_Section":
+        # One child-time accumulator per open section, on this thread's
+        # private stack.
+        self._profiler._stack().append(0.0)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self._profiler.record(self._name, time.perf_counter() - self._start)
+        elapsed = time.perf_counter() - self._start
+        stack = self._profiler._stack()
+        child_s = stack.pop()
+        if stack:
+            stack[-1] += elapsed
+        self._profiler.record(self._name, elapsed, child_s)
 
 
 class _NullSection:
@@ -67,49 +89,62 @@ NULL_SECTION = _NullSection()
 
 
 class Profiler:
-    """Accumulates per-section counts and wall time."""
+    """Accumulates per-section counts and wall time (thread-safe)."""
 
     def __init__(self) -> None:
-        # name -> [count, total_seconds]; a plain list keeps the hot
-        # record() path to two float ops.
+        # name -> [count, total_seconds, child_seconds]; a plain list
+        # keeps the hot record() path to a few float ops.
         self._stats: Dict[str, List[float]] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> List[float]:
+        """This thread's stack of open-section child accumulators."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     def section(self, name: str) -> _Section:
         """A context manager timing one entry into ``name``."""
         return _Section(self, name)
 
-    def record(self, name: str, elapsed_s: float) -> None:
+    def record(self, name: str, elapsed_s: float,
+               child_s: float = 0.0) -> None:
         """Fold one timed entry into the section's totals."""
-        stat = self._stats.get(name)
-        if stat is None:
-            self._stats[name] = [1, elapsed_s]
-        else:
-            stat[0] += 1
-            stat[1] += elapsed_s
+        with self._lock:
+            stat = self._stats.get(name)
+            if stat is None:
+                self._stats[name] = [1, elapsed_s, child_s]
+            else:
+                stat[0] += 1
+                stat[1] += elapsed_s
+                stat[2] += child_s
 
     def profiled(self, name: str) -> Callable:
         """Decorator timing every call of the wrapped function."""
         def decorate(func: Callable) -> Callable:
             @functools.wraps(func)
             def wrapper(*args, **kwargs):
-                start = time.perf_counter()
-                try:
+                with _Section(self, name):
                     return func(*args, **kwargs)
-                finally:
-                    self.record(name, time.perf_counter() - start)
             return wrapper
         return decorate
 
     def stats(self) -> Dict[str, SectionStat]:
         """All sections' accumulated statistics."""
-        return {
-            name: SectionStat(name=name, count=int(count), total_s=total)
-            for name, (count, total) in self._stats.items()
-        }
+        with self._lock:
+            return {
+                name: SectionStat(name=name, count=int(count),
+                                  total_s=total, child_s=child)
+                for name, (count, total, child) in self._stats.items()
+            }
 
     def reset(self) -> None:
         """Forget all sections."""
-        self._stats.clear()
+        with self._lock:
+            self._stats.clear()
 
     def report(self) -> str:
         """Per-section wall-time breakdown, largest share first."""
@@ -117,13 +152,16 @@ class Profiler:
                        key=lambda s: s.total_s, reverse=True)
         if not stats:
             return "profiler: no sections recorded"
-        grand_total = sum(s.total_s for s in stats)
+        # Shares are of summed *self* time: nested sections would double
+        # count their parents if shares were taken over totals.
+        grand_self = sum(s.self_s for s in stats)
         lines = [f"{'section':<24s} {'calls':>8s} {'total s':>10s} "
-                 f"{'mean us':>10s} {'share':>7s}"]
+                 f"{'self s':>10s} {'mean us':>10s} {'share':>7s}"]
         for stat in stats:
-            share = stat.total_s / grand_total if grand_total > 0 else 0.0
+            share = stat.self_s / grand_self if grand_self > 0 else 0.0
             lines.append(
                 f"{stat.name:<24s} {stat.count:>8d} {stat.total_s:>10.4f} "
-                f"{stat.mean_s * 1e6:>10.1f} {share:>6.1%}"
+                f"{stat.self_s:>10.4f} {stat.mean_s * 1e6:>10.1f} "
+                f"{share:>6.1%}"
             )
         return "\n".join(lines)

@@ -144,3 +144,82 @@ class TestSweepStoreFlags:
         assert main(["telemetry-report", str(trace),
                      "--metrics", str(tmp_path / "absent.json")]) == 2
         assert "unreadable metrics file" in capsys.readouterr().err
+
+
+def _ledger_module():
+    import sys
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parent.parent
+    if str(repo_root) not in sys.path:
+        sys.path.insert(0, str(repo_root))
+    from benchmarks import ledger
+    return ledger
+
+
+class TestObservabilityCli:
+    """Traced reproduce, span/metrics reports, and bench-report."""
+
+    @pytest.fixture(autouse=True)
+    def _detach_after(self):
+        from repro.platform.sweepcache import shared_cache
+        yield
+        shared_cache().detach_store()
+
+    def test_traced_reproduce_nests_everything(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["reproduce", "--output", str(tmp_path / "out"),
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--trace", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "span trace:" in out and "metrics written to" in out
+
+        from repro.telemetry.spans import load_chrome_trace, span_tree
+        records = load_chrome_trace(trace)
+        (root,) = span_tree(records)  # a single tree covers the whole run
+        assert root.record.name == "reproduce"
+        names = {r.name for r in records}
+        assert any(name.startswith("pipeline.") for name in names)
+
+        # Spans double as the span report; metrics as Prometheus text.
+        capsys.readouterr()
+        assert main(["telemetry-report", "--spans", str(trace)]) == 0
+        report = capsys.readouterr().out
+        assert "critical path" in report.lower()
+        assert "reproduce" in report
+        assert main(["telemetry-report", "--metrics", str(metrics),
+                     "--prometheus"]) == 0
+        exposition = capsys.readouterr().out
+        assert "# TYPE" in exposition
+        assert "sweep_cache_hits_total" in exposition
+
+    def test_telemetry_report_spans_missing_file(self, tmp_path, capsys):
+        assert main(["telemetry-report",
+                     "--spans", str(tmp_path / "gone.json")]) == 2
+        assert "no such span trace" in capsys.readouterr().err
+
+    def test_bench_report_on_committed_ledger(self, capsys):
+        assert main(["bench-report"]) == 0
+        out = capsys.readouterr().out
+        assert "run(s)" in out
+        assert "[gated]" in out
+
+    def test_bench_report_empty_ledger_exits_2(self, tmp_path, capsys):
+        assert main(["bench-report",
+                     "--ledger", str(tmp_path / "none.jsonl")]) == 2
+        assert "no entries" in capsys.readouterr().err
+
+    def test_bench_report_check_gates_regressions(self, tmp_path, capsys):
+        ledger = _ledger_module()
+        path = tmp_path / "ledger.jsonl"
+        for speedup in (30.0, 31.0, 29.5, 3.0):  # last run: 10x slower
+            ledger.append_entry(path, ledger.LedgerEntry(
+                bench="pipeline", recorded_at="2026-08-01T00:00:00+00:00",
+                metrics={"warm_speedup": speedup}))
+        assert main(["bench-report", "--ledger", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["bench-report", "--ledger", str(path),
+                     "--check"]) == 1
+        assert "regression" in capsys.readouterr().out

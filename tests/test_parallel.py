@@ -191,3 +191,43 @@ def test_context_jobs_validation():
     with pytest.raises(ValueError):
         ExperimentContext(jobs=-1)
     assert ExperimentContext(jobs=3).jobs == 3
+
+
+class TestFanOutSpanPropagation:
+    """fan_out carries the submitting thread's span context to workers."""
+
+    def test_pool_workers_inherit_the_caller_span(self):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.spans import SpanTracker, ambient_telemetry
+
+        telemetry = Telemetry(spans=SpanTracker())
+
+        def work(item):
+            with ambient_telemetry().span("item", value=item):
+                return item
+
+        with telemetry.span("batch"):
+            fan_out(work, list(range(6)), jobs=3)
+        records = telemetry.spans.records()
+        batch = next(r for r in records if r.name == "batch")
+        items = [r for r in records if r.name == "item"]
+        assert len(items) == 6
+        assert all(r.parent_id == batch.span_id for r in items)
+
+    def test_metric_counts_identical_serial_vs_pooled(self):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.spans import SpanTracker, ambient_telemetry
+
+        def run(jobs):
+            telemetry = Telemetry(spans=SpanTracker())
+
+            def work(item):
+                ambient_telemetry().metrics.counter(
+                    "items_total").inc(kind="fan")
+                return item
+
+            with telemetry.span("batch"):
+                fan_out(work, list(range(8)), jobs=jobs)
+            return telemetry.metrics.as_dict()
+
+        assert run(1) == run(4)

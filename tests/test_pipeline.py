@@ -266,3 +266,46 @@ class TestPipelineRun:
         assert "critical path:" in text
         for name in EXPECTED_REPORTS:
             assert name in text
+
+
+class TestPipelineSpans:
+    def run_traced(self, jobs):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.spans import SpanTracker
+
+        telemetry = Telemetry(spans=SpanTracker())
+        counter = {"lock": threading.Lock()}
+        pipeline = ExperimentPipeline(
+            toy_dag(counter), context=None, jobs=jobs,
+            fingerprint="fp", telemetry=telemetry,
+        )
+        with telemetry.span("root"):
+            pipeline.run(emit=lambda name, text, status: None)
+        return telemetry
+
+    def test_every_node_spans_under_the_caller(self):
+        telemetry = self.run_traced(jobs=1)
+        records = telemetry.spans.records()
+        root = next(r for r in records if r.name == "root")
+        nodes = [r for r in records if r.name.startswith("pipeline.")]
+        assert {r.name for r in nodes} == {
+            "pipeline.base", "pipeline.mid1", "pipeline.mid2",
+            "pipeline.leaf", "pipeline.free",
+        }
+        assert all(r.parent_id == root.span_id for r in nodes)
+        assert all(r.label_dict() == {"node": r.name.split(".", 1)[1]}
+                   for r in nodes)
+
+    def test_span_tree_invariant_under_jobs(self):
+        from repro.telemetry.spans import tree_signature
+
+        serial = self.run_traced(jobs=1)
+        parallel = self.run_traced(jobs=4)
+        assert (tree_signature(serial.spans.records())
+                == tree_signature(parallel.spans.records()))
+
+    def test_node_spans_double_as_profiler_sections(self):
+        telemetry = self.run_traced(jobs=1)
+        stats = telemetry.profiler.stats()
+        assert stats["pipeline.base"].count == 1
+        assert stats["pipeline.leaf"].count == 1

@@ -1,0 +1,339 @@
+"""Hierarchical spans: nesting, propagation, export, signatures."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.runtime.parallel import fan_out, fan_out_processes
+from repro.telemetry import Telemetry
+from repro.telemetry.handle import NULL_TELEMETRY
+from repro.telemetry.spans import (
+    SPAN_SCHEMA_MANIFEST,
+    SPAN_SCHEMA_VERSION,
+    SpanRecord,
+    SpanTracker,
+    aggregate_spans,
+    ambient_telemetry,
+    capture_span_context,
+    critical_path,
+    format_span_report,
+    load_chrome_trace,
+    span_fields,
+    span_tree,
+    tree_signature,
+    use_span_context,
+    write_chrome_trace,
+)
+
+
+def traced_telemetry() -> Telemetry:
+    return Telemetry(spans=SpanTracker())
+
+
+def record(name, span_id, parent_id, start, end, labels=()):
+    """Hand-built SpanRecord for tree/signature tests."""
+    return SpanRecord(name=name, span_id=span_id, parent_id=parent_id,
+                      start_s=start, end_s=end, pid=1, tid=1,
+                      labels=tuple(labels))
+
+
+class TestSpanRecording:
+    def test_single_span_recorded_with_labels(self):
+        telemetry = traced_telemetry()
+        with telemetry.span("work", kernel="K", attempt=2):
+            pass
+        (rec,) = telemetry.spans.records()
+        assert rec.name == "work"
+        assert rec.parent_id is None
+        assert rec.label_dict() == {"kernel": "K", "attempt": "2"}
+        assert rec.end_s >= rec.start_s
+        assert rec.pid == os.getpid()
+
+    def test_nesting_sets_parent_ids(self):
+        telemetry = traced_telemetry()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        inner, outer = telemetry.spans.records()
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_span_ids_unique_and_pid_tagged(self):
+        telemetry = traced_telemetry()
+        for _ in range(5):
+            with telemetry.span("s"):
+                pass
+        ids = [r.span_id for r in telemetry.spans.records()]
+        assert len(set(ids)) == 5
+        assert all(span_id >> 24 == os.getpid() for span_id in ids)
+
+    def test_span_opens_matching_profiler_section(self):
+        telemetry = traced_telemetry()
+        with telemetry.span("pipeline.x"):
+            pass
+        assert telemetry.profiler.stats()["pipeline.x"].count == 1
+
+    def test_null_telemetry_records_nothing(self):
+        with NULL_TELEMETRY.span("work", kernel="K"):
+            pass
+        assert len(NULL_TELEMETRY.spans) == 0
+
+    def test_exception_still_closes_span(self):
+        telemetry = traced_telemetry()
+        with pytest.raises(ValueError):
+            with telemetry.span("doomed"):
+                raise ValueError("boom")
+        (rec,) = telemetry.spans.records()
+        assert rec.name == "doomed"
+
+    def test_schema_manifest_matches_dataclass(self):
+        assert SPAN_SCHEMA_MANIFEST[SPAN_SCHEMA_VERSION] == span_fields()
+
+
+class TestContextPropagation:
+    def test_ambient_telemetry_inside_span(self):
+        telemetry = traced_telemetry()
+        assert ambient_telemetry() is not telemetry
+        with telemetry.span("outer"):
+            assert ambient_telemetry() is telemetry
+        assert not ambient_telemetry().enabled
+
+    def test_capture_and_use_across_thread(self):
+        telemetry = traced_telemetry()
+        with telemetry.span("outer"):
+            context = capture_span_context()
+
+            def worker():
+                with use_span_context(context):
+                    with context.telemetry.span("child"):
+                        pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        child, outer = (sorted(telemetry.spans.records(),
+                               key=lambda r: r.name))
+        assert child.parent_id == outer.span_id
+        assert child.tid != outer.tid
+
+    def test_capture_without_open_span_is_none(self):
+        assert capture_span_context() is None
+        with use_span_context(None):  # no-op passthrough
+            pass
+
+    def test_fan_out_children_parent_under_caller_span(self):
+        telemetry = traced_telemetry()
+
+        def work(item):
+            with ambient_telemetry().span("leaf", item=item):
+                return item * 2
+
+        with telemetry.span("outer"):
+            assert fan_out(work, [1, 2, 3, 4], jobs=4) == [2, 4, 6, 8]
+        records = telemetry.spans.records()
+        outer = next(r for r in records if r.name == "outer")
+        leaves = [r for r in records if r.name == "leaf"]
+        assert len(leaves) == 4
+        assert all(leaf.parent_id == outer.span_id for leaf in leaves)
+
+    def test_fan_out_serial_and_pooled_same_signature(self):
+        def run(jobs):
+            telemetry = traced_telemetry()
+
+            def work(item):
+                with ambient_telemetry().span("leaf", item=item):
+                    return item
+
+            with telemetry.span("outer", mode="x"):
+                fan_out(work, [1, 2, 3], jobs=jobs)
+            return tree_signature(telemetry.spans.records())
+
+        assert run(1) == run(3)
+
+
+def _process_work(item):
+    """Top-level worker for fan_out_processes (fork-picklable)."""
+    telemetry = ambient_telemetry()
+    telemetry.metrics.counter("worker_items_total").inc(kind="proc")
+    with telemetry.span("leaf", item=item):
+        return item + 100
+
+
+class TestProcessPropagation:
+    def test_worker_spans_and_metrics_merge_back(self):
+        telemetry = traced_telemetry()
+        with telemetry.span("outer"):
+            results = fan_out_processes(_process_work, [1, 2, 3], jobs=2)
+        assert results == [101, 102, 103]
+        records = telemetry.spans.records()
+        outer = next(r for r in records if r.name == "outer")
+        wrappers = [r for r in records if r.name == "fan_out_processes"]
+        leaves = [r for r in records if r.name == "leaf"]
+        assert len(wrappers) == 3 and len(leaves) == 3
+        assert all(w.parent_id == outer.span_id for w in wrappers)
+        wrapper_ids = {w.span_id for w in wrappers}
+        assert all(leaf.parent_id in wrapper_ids for leaf in leaves)
+        # Counters from every worker process merged into the parent.
+        assert telemetry.metrics.counter(
+            "worker_items_total").value(kind="proc") == 3.0
+
+    def test_serial_and_forked_trees_agree(self):
+        def run(jobs):
+            telemetry = traced_telemetry()
+            with telemetry.span("outer"):
+                fan_out_processes(_process_work, [1, 2, 3], jobs=jobs)
+            return (tree_signature(telemetry.spans.records()),
+                    telemetry.metrics.counter(
+                        "worker_items_total").value(kind="proc"))
+
+        serial_sig, serial_count = run(1)
+        forked_sig, forked_count = run(2)
+        assert serial_sig == forked_sig
+        assert serial_count == forked_count == 3.0
+
+
+class TestChromeTrace:
+    def test_round_trip(self, tmp_path):
+        telemetry = traced_telemetry()
+        with telemetry.span("outer", kernel="K"):
+            with telemetry.span("inner"):
+                pass
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, telemetry.spans.records())
+        assert count == 2
+        loaded = load_chrome_trace(path)
+        assert tree_signature(loaded) == tree_signature(
+            telemetry.spans.records())
+        for original, roundtripped in zip(
+                sorted(telemetry.spans.records(), key=lambda r: r.span_id),
+                sorted(loaded, key=lambda r: r.span_id)):
+            assert roundtripped.name == original.name
+            assert roundtripped.labels == original.labels
+            assert roundtripped.duration_s == pytest.approx(
+                original.duration_s, abs=1e-5)
+
+    def test_trace_is_perfetto_shaped(self, tmp_path):
+        telemetry = traced_telemetry()
+        with telemetry.span("outer"):
+            pass
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, telemetry.spans.records())
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete and all(e["cat"] == "span" for e in complete)
+        assert all({"ts", "dur", "pid", "tid"} <= e.keys()
+                   for e in complete)
+        assert any(e["ph"] == "M" for e in events)  # process metadata
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(TelemetryError):
+            load_chrome_trace(bad)
+        bad.write_text(json.dumps({"no": "traceEvents"}))
+        with pytest.raises(TelemetryError):
+            load_chrome_trace(bad)
+        bad.write_text(json.dumps({"traceEvents": [
+            {"ph": "X", "cat": "span", "name": "x", "ts": 0, "dur": 1,
+             "pid": 1, "tid": 1, "args": {}}]}))
+        with pytest.raises(TelemetryError, match="span_id"):
+            load_chrome_trace(bad)
+
+
+class TestTreesAndSignatures:
+    def test_unresolvable_parent_becomes_root(self):
+        records = [record("orphan", 2, 999, 0.0, 1.0)]
+        (root,) = span_tree(records)
+        assert root.record.name == "orphan"
+
+    def test_children_sorted_by_start(self):
+        records = [
+            record("root", 1, None, 0.0, 3.0),
+            record("b", 3, 1, 2.0, 3.0),
+            record("a", 2, 1, 1.0, 2.0),
+        ]
+        (root,) = span_tree(records)
+        assert [c.record.name for c in root.children] == ["a", "b"]
+
+    def test_signature_ignores_ids_times_and_order(self):
+        first = [record("root", 1, None, 0.0, 2.0),
+                 record("x", 2, 1, 0.0, 1.0, (("k", "v"),))]
+        second = [record("x", 77, 50, 5.0, 9.0, (("k", "v"),)),
+                  record("root", 50, None, 4.0, 10.0)]
+        assert tree_signature(first) == tree_signature(second)
+
+    def test_signature_sees_structure(self):
+        nested = [record("root", 1, None, 0.0, 2.0),
+                  record("x", 2, 1, 0.0, 1.0)]
+        flat = [record("root", 1, None, 0.0, 2.0),
+                record("x", 2, None, 0.0, 1.0)]
+        assert tree_signature(nested) != tree_signature(flat)
+
+    def test_detach_factors_out_attribution(self):
+        def run(parent_of_fill):
+            return [
+                record("node_a", 1, None, 0.0, 2.0),
+                record("node_b", 2, None, 2.0, 4.0),
+                record("fill", 3, parent_of_fill, 0.5, 1.0),
+                record("compute", 4, 3, 0.6, 0.9),
+            ]
+
+        led_by_a, led_by_b = run(1), run(2)
+        assert tree_signature(led_by_a) != tree_signature(led_by_b)
+        assert (tree_signature(led_by_a, detach=("fill",))
+                == tree_signature(led_by_b, detach=("fill",)))
+
+
+class TestAggregationAndReport:
+    def _records(self):
+        return [
+            record("root", 1, None, 0.0, 10.0),
+            record("child", 2, 1, 0.0, 4.0),
+            record("child", 3, 1, 4.0, 10.0),
+            record("leaf", 4, 3, 5.0, 6.0),
+        ]
+
+    def test_self_time_subtracts_direct_children(self):
+        aggregates = aggregate_spans(self._records())
+        assert aggregates["root"].count == 1
+        assert aggregates["root"].total_s == pytest.approx(10.0)
+        assert aggregates["root"].self_s == pytest.approx(0.0)
+        assert aggregates["child"].count == 2
+        assert aggregates["child"].total_s == pytest.approx(10.0)
+        assert aggregates["child"].self_s == pytest.approx(9.0)
+        assert aggregates["leaf"].self_s == pytest.approx(1.0)
+
+    def test_critical_path_follows_heaviest_child(self):
+        path = [r.name for r in critical_path(self._records())]
+        assert path == ["root", "child", "leaf"]
+
+    def test_format_span_report(self):
+        report = format_span_report(self._records())
+        assert "root" in report and "child" in report
+        assert "critical path" in report.lower()
+        assert "self" in report
+
+    def test_empty_records(self):
+        assert critical_path([]) == []
+        assert aggregate_spans([]) == {}
+        assert "none recorded" in format_span_report([]).lower()
+
+
+class TestTrackerMerging:
+    def test_extend_splices_foreign_records(self):
+        tracker = SpanTracker()
+        parent_id = tracker.allocate_id()
+        foreign = SpanTracker(epoch=tracker.epoch, root_parent=parent_id)
+        telemetry = Telemetry(spans=foreign)
+        with telemetry.span("remote"):
+            pass
+        tracker.extend(foreign.records())
+        (rec,) = tracker.records()
+        assert rec.parent_id == parent_id

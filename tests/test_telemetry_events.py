@@ -142,11 +142,34 @@ class TestJsonlSink:
             sink.write(SAMPLE_EVENTS[0])
 
     def test_malformed_line_raises_with_location(self, tmp_path):
+        # Mid-file garbage is corruption (only a *final* truncated line
+        # is tolerated as a crashed writer's footprint).
         path = tmp_path / "bad.jsonl"
         first = json.dumps(SAMPLE_EVENTS[0].to_record())
-        path.write_text(first + "\nnot json\n")
+        path.write_text(first + "\nnot json\n" + first + "\n")
         with pytest.raises(TelemetryError, match="bad.jsonl:2"):
             load_events(path)
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            for event in SAMPLE_EVENTS:
+                sink.write(event)
+        with open(path, "a") as handle:
+            handle.write('{"v": 1, "type": "KernelLau')  # crashed writer
+        assert load_events(path) == list(SAMPLE_EVENTS)
+
+    def test_close_makes_the_file_durable(self, tmp_path):
+        # fsync-on-close: every written event is on disk afterwards,
+        # readable by an independent open.
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        for event in SAMPLE_EVENTS:
+            sink.write(event)
+        sink.close()
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == len(SAMPLE_EVENTS)
 
 
 class TestReplay:

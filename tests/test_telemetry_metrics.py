@@ -171,3 +171,158 @@ class TestProfiler:
         profiler.record("x", 1.0)
         profiler.reset()
         assert profiler.stats() == {}
+
+
+class TestRegistryMerge:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "a counter").inc(2.0, kernel="K")
+        registry.gauge("g", "a gauge").set(1.5)
+        registry.histogram("h_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        return registry.as_dict()
+
+    def test_merge_into_empty_equals_source(self):
+        snapshot = self._snapshot()
+        merged = MetricsRegistry()
+        merged.merge(snapshot)
+        assert merged.as_dict() == snapshot
+
+    def test_counters_add_across_merges(self):
+        snapshot = self._snapshot()
+        merged = MetricsRegistry()
+        merged.merge(snapshot)
+        merged.merge(snapshot)
+        assert merged.counter("c_total").value(kernel="K") == 4.0
+
+    def test_histograms_add_buckets_and_sums(self):
+        snapshot = self._snapshot()
+        merged = MetricsRegistry()
+        merged.merge(snapshot)
+        merged.merge(snapshot)
+        histogram = merged.histogram("h_seconds")
+        assert histogram.count() == 2
+        assert histogram.total() == pytest.approx(0.1)
+        assert histogram.bucket_counts() == (2, 0, 0)
+
+    def test_gauge_is_last_write_wins(self):
+        merged = MetricsRegistry()
+        merged.gauge("g").set(9.0)
+        merged.merge(self._snapshot())
+        assert merged.gauge("g").value() == 1.5
+
+    def test_from_dict_round_trip(self):
+        snapshot = self._snapshot()
+        assert MetricsRegistry.from_dict(snapshot).as_dict() == snapshot
+
+    def test_mismatched_histogram_buckets_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", buckets=(0.5,)).observe(0.1)
+        with pytest.raises(TelemetryError, match="bucket"):
+            registry.merge(self._snapshot())
+
+    def test_negative_counter_snapshot_rejected(self):
+        snapshot = self._snapshot()
+        snapshot["c_total"]["samples"][0]["value"] = -1.0
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().merge(snapshot)
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.gauge("c_total")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.merge(self._snapshot())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TelemetryError, match="kind"):
+            MetricsRegistry().merge(
+                {"x": {"type": "summary", "help": "", "samples": []}})
+
+    def test_concurrent_increments_are_exact(self):
+        import threading
+
+        counter = MetricsRegistry().counter("c_total")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc(worker="w")
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(worker="w") == 4000.0
+
+
+class TestPrometheusRendering:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "the counter").inc(3, kernel="K")
+        registry.gauge("g", "the gauge").set(1.5, mode="warm")
+        registry.histogram("h_seconds", "the hist",
+                           buckets=(0.1, 1.0)).observe(0.05)
+        text = registry.render_prometheus()
+        assert "# HELP c_total the counter" in text
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{kernel="K"} 3' in text
+        assert 'g{mode="warm"} 1.5' in text
+        assert '# TYPE h_seconds histogram' in text
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="1"} 1' in text       # cumulative
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_sum 0.05" in text
+        assert "h_seconds_count 1" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(path='a"b\\c\nd')
+        text = registry.render_prometheus()
+        assert 'c_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+
+class TestProfilerSelfTime:
+    def test_nested_sections_split_self_time(self):
+        import time
+
+        profiler = Profiler()
+        with profiler.section("outer"):
+            with profiler.section("inner"):
+                time.sleep(0.02)
+        stats = profiler.stats()
+        assert stats["outer"].total_s >= stats["inner"].total_s
+        assert stats["outer"].self_s == pytest.approx(
+            stats["outer"].total_s - stats["inner"].total_s)
+        assert stats["inner"].self_s == pytest.approx(
+            stats["inner"].total_s)
+
+    def test_sibling_threads_have_independent_stacks(self):
+        import threading
+        import time
+
+        profiler = Profiler()
+
+        def worker():
+            with profiler.section("thread_work"):
+                time.sleep(0.01)
+
+        with profiler.section("outer"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        stats = profiler.stats()
+        # The worker's section ran on another thread: it must not be
+        # subtracted from outer's self time.
+        assert stats["outer"].self_s == pytest.approx(
+            stats["outer"].total_s)
+        assert stats["thread_work"].count == 1
+
+    def test_two_arg_record_still_works(self):
+        profiler = Profiler()
+        profiler.record("legacy", 0.5)
+        assert profiler.stats()["legacy"].self_s == 0.5
+
+    def test_report_has_self_column(self):
+        profiler = Profiler()
+        profiler.record("a", 1.0, 0.75)
+        report = profiler.report()
+        assert "self s" in report

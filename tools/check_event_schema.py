@@ -10,7 +10,10 @@ Fails (exit 1) when:
 * a historical manifest entry is unsorted or duplicated (the manifest is
   append-only and must stay canonical);
 * an event type is missing from the ``docs/telemetry.md`` schema table,
-  or the docs mention an event type the schema no longer has.
+  or the docs mention an event type the schema no longer has;
+* the span schema (``SPAN_SCHEMA_VERSION`` / ``SPAN_SCHEMA_MANIFEST``)
+  drifted from the ``SpanRecord`` fields, or a span field is missing
+  from the docs' span-field table.
 
 Run from the repository root:  python tools/check_event_schema.py
 """
@@ -28,6 +31,11 @@ from repro.telemetry.events import (  # noqa: E402
     EVENT_TYPES,
     SCHEMA_MANIFEST,
     SCHEMA_VERSION,
+)
+from repro.telemetry.spans import (  # noqa: E402
+    SPAN_SCHEMA_MANIFEST,
+    SPAN_SCHEMA_VERSION,
+    span_fields,
 )
 
 DOCS = REPO_ROOT / "docs" / "telemetry.md"
@@ -65,6 +73,28 @@ def check() -> list:
                 f"duplicate-free, got {names}"
             )
 
+    current_fields = span_fields()
+    if SPAN_SCHEMA_VERSION not in SPAN_SCHEMA_MANIFEST:
+        errors.append(
+            f"SPAN_SCHEMA_VERSION {SPAN_SCHEMA_VERSION} has no "
+            "SPAN_SCHEMA_MANIFEST entry; append the current field set"
+        )
+    else:
+        recorded = SPAN_SCHEMA_MANIFEST[SPAN_SCHEMA_VERSION]
+        if recorded != current_fields:
+            errors.append(
+                f"SpanRecord fields changed ({list(current_fields)} vs "
+                f"recorded {list(recorded)}) but SPAN_SCHEMA_VERSION is "
+                f"still {SPAN_SCHEMA_VERSION}; bump it and record the "
+                "new set in SPAN_SCHEMA_MANIFEST"
+            )
+    for version, fields in SPAN_SCHEMA_MANIFEST.items():
+        if tuple(sorted(set(fields))) != fields:
+            errors.append(
+                f"SPAN_SCHEMA_MANIFEST[{version}] must be sorted and "
+                f"duplicate-free, got {fields}"
+            )
+
     if not DOCS.exists():
         errors.append(f"{DOCS} is missing; every event type must be documented")
         return errors
@@ -87,6 +117,24 @@ def check() -> list:
             f"docs/telemetry.md documents {name}, which is not a "
             "registered event type"
         )
+
+    # Span fields use the same backticked-table-row convention.
+    known_fields = {field for fields in SPAN_SCHEMA_MANIFEST.values()
+                    for field in fields} | set(current_fields)
+    documented_fields = set(
+        re.findall(r"^\|\s*`(\w+)`\s*\|", text, re.MULTILINE)
+    ) & known_fields
+    for field in current_fields:
+        if field not in documented_fields:
+            errors.append(
+                f"span field {field} is not documented in "
+                "docs/telemetry.md (add a row to the span-field table)"
+            )
+    for field in sorted(documented_fields - set(current_fields)):
+        errors.append(
+            f"docs/telemetry.md documents span field {field}, which "
+            "SpanRecord no longer has"
+        )
     return errors
 
 
@@ -97,8 +145,9 @@ def main() -> int:
             print(f"check_event_schema: {error}", file=sys.stderr)
         return 1
     print(
-        f"check_event_schema: OK (schema v{SCHEMA_VERSION}, "
-        f"{len(EVENT_TYPES)} event types, docs in sync)"
+        f"check_event_schema: OK (events v{SCHEMA_VERSION}, "
+        f"{len(EVENT_TYPES)} event types; spans v{SPAN_SCHEMA_VERSION}, "
+        f"{len(span_fields())} fields; docs in sync)"
     )
     return 0
 
