@@ -249,6 +249,12 @@ DEFAULT_GATES: Dict[str, List[GateRule]] = {
         GateRule("geomean_noisy_batch_speedup", higher_is_better=True,
                  max_regression=0.25),
     ],
+    "controller": [
+        # The batched session engine's contract: at least 5x over the
+        # scalar controller loop on the full run, bitwise-identical.
+        GateRule("geomean_controller_speedup", higher_is_better=True,
+                 max_regression=0.25, min_value=5.0),
+    ],
     "telemetry": [
         # The hard contract: telemetry off must stay within 2% of an
         # uninstrumented run, whatever the history says.

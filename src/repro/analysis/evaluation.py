@@ -182,22 +182,42 @@ class EvaluationHarness:
         self._baseline = baseline_policy
 
     def evaluate(self, applications: Sequence[Application],
-                 policies: Sequence[PowerPolicy]) -> EvaluationSummary:
-        """Run baseline + candidates over all applications, serially.
+                 policies: Sequence[PowerPolicy],
+                 batched: bool = True) -> EvaluationSummary:
+        """Run baseline + candidates over all applications.
 
         Args:
             applications: workloads to evaluate.
             policies: candidate policies (the baseline is implicit).
+            batched: advance each application's baseline + candidates in
+                lockstep via the batched session engine
+                (:mod:`repro.runtime.session`). Bitwise-identical to the
+                scalar loop; lanes the engine cannot prove equivalent
+                fall back automatically. ``False`` forces the scalar
+                path (the differential-testing oracle).
         """
         if not applications:
             raise AnalysisError("no applications to evaluate")
         comparisons: List[ApplicationComparison] = []
         runs: Dict[str, Dict[str, RunResult]] = {}
+        session_runner = None
+        if batched:
+            from repro.runtime.session import BatchSessionRunner, SessionSpec
+            session_runner = BatchSessionRunner(self._platform)
         for application in applications:
-            base_run = self._runner.run(application, self._baseline)
+            if session_runner is not None:
+                lane_policies = [self._baseline, *policies]
+                outcomes = session_runner.run_sessions([
+                    SessionSpec(application=application, policy=policy)
+                    for policy in lane_policies
+                ])
+                base_run, policy_runs = outcomes[0], outcomes[1:]
+            else:
+                base_run = self._runner.run(application, self._baseline)
+                policy_runs = [self._runner.run(application, policy)
+                               for policy in policies]
             per_app: Dict[str, RunResult] = {self._baseline.name: base_run}
-            for policy in policies:
-                run = self._runner.run(application, policy)
+            for policy, run in zip(policies, policy_runs):
                 per_app[policy.name] = run
                 comparisons.append(ApplicationComparison(
                     application=application.name,
@@ -214,6 +234,7 @@ class EvaluationHarness:
         baseline_factory: PolicyFactory,
         policy_factories: Sequence[PolicyFactory],
         jobs: int = 1,
+        batched: bool = True,
     ) -> EvaluationSummary:
         """Run the matrix with applications fanned out over threads.
 
@@ -230,18 +251,34 @@ class EvaluationHarness:
             baseline_factory: constructor of fresh baseline policies.
             policy_factories: constructors of fresh candidate policies.
             jobs: maximum concurrent application evaluations.
+            batched: advance each application's policies in lockstep via
+                the batched session engine (bitwise-identical; ``False``
+                forces the scalar loop).
         """
         if not applications:
             raise AnalysisError("no applications to evaluate")
 
         def evaluate_app(application: Application):
-            runner = ApplicationRunner(self._platform)
-            base_run = runner.run(application, baseline_factory())
+            baseline = baseline_factory()
+            policies = [factory() for factory in policy_factories]
+            if batched:
+                from repro.runtime.session import (
+                    BatchSessionRunner, SessionSpec,
+                )
+                engine = BatchSessionRunner(self._platform)
+                outcomes = engine.run_sessions([
+                    SessionSpec(application=application, policy=policy)
+                    for policy in (baseline, *policies)
+                ])
+                base_run, policy_runs = outcomes[0], outcomes[1:]
+            else:
+                runner = ApplicationRunner(self._platform)
+                base_run = runner.run(application, baseline)
+                policy_runs = [runner.run(application, policy)
+                               for policy in policies]
             per_app: Dict[str, RunResult] = {self._baseline.name: base_run}
             comps: List[ApplicationComparison] = []
-            for factory in policy_factories:
-                policy = factory()
-                run = runner.run(application, policy)
+            for policy, run in zip(policies, policy_runs):
                 per_app[policy.name] = run
                 comps.append(ApplicationComparison(
                     application=application.name,
@@ -267,6 +304,7 @@ class EvaluationHarness:
         seeds: "int | Sequence[int]" = 16,
         noise_std_fraction: float = 0.05,
         jobs: int = 1,
+        batched: bool = True,
     ) -> MonteCarloSummary:
         """Run the matrix under repeated-trial measurement noise.
 
@@ -286,17 +324,35 @@ class EvaluationHarness:
             seeds: trial platform seeds — an int N means ``range(N)``.
             noise_std_fraction: per-trial execution-time noise fraction.
             jobs: maximum concurrent application evaluations.
+            batched: compute all policies' deterministic reference runs
+                per application in lockstep via the batched session
+                engine before handing them to the vectorized noise
+                reduction (bitwise-identical; ``False`` forces scalar
+                reference runs).
         """
         if not applications:
             raise AnalysisError("no applications to evaluate")
         engine = MonteCarloEngine(self._platform, noise_std_fraction, seeds)
 
         def evaluate_app(application: Application):
-            base_run = engine.rollout(application, baseline_factory())
+            baseline = baseline_factory()
+            policies = [factory() for factory in policy_factories]
+            references = [None] * (1 + len(policies))
+            if batched:
+                from repro.runtime.session import (
+                    BatchSessionRunner, SessionSpec,
+                )
+                session_runner = BatchSessionRunner(self._platform)
+                references = session_runner.run_sessions([
+                    SessionSpec(application=application, policy=policy)
+                    for policy in (baseline, *policies)
+                ])
+            base_run = engine.rollout(application, baseline,
+                                      reference=references[0])
             comps: List[MonteCarloComparison] = []
-            for factory in policy_factories:
-                policy = factory()
-                cand_run = engine.rollout(application, policy)
+            for policy, reference in zip(policies, references[1:]):
+                cand_run = engine.rollout(application, policy,
+                                          reference=reference)
                 comps.append(MonteCarloComparison(
                     application=application.name,
                     policy=cand_run.policy,

@@ -172,6 +172,15 @@ class FineGrainTuner:
         self._max_dithering = max_dithering
         self._tolerance = tolerance
         self._telemetry = coalesce(telemetry)
+        # Pure memo: probe order is a function of the bin assignment only
+        # (at most |Bin|^len(tunables) entries for a fixed tuner).
+        self._probe_memo: Dict[Tuple[Bin, ...], Tuple[str, ...]] = {}
+        # Power-rank normalization is fixed by the grid; precompute the
+        # inverse scales so the per-launch rank is two multiplies.
+        self._rank_compute_scale = 1.0 / (
+            space.cu_counts[-1] * space.compute_frequencies[-1]
+        )
+        self._rank_memory_scale = 0.3 / space.memory_frequencies[-1]
 
     # --- grid helpers ---------------------------------------------------------
 
@@ -185,14 +194,18 @@ class FineGrainTuner:
             return self._space.step_f_mem(config, direction)
         raise PolicyError(f"unknown tunable {tunable!r}")
 
-    def _probe_order(self, bins: Mapping[str, Bin]) -> List[str]:
+    def _probe_order(self, bins: Mapping[str, Bin]) -> Tuple[str, ...]:
         """Unfrozen tunables, lowest sensitivity bin first."""
-        candidates = [t for t in self._tunables]
-        candidates.sort(
-            key=lambda t: (_BIN_RANK[bins.get(t, Bin.MED)],
-                           _TIEBREAK_ORDER.index(t))
-        )
-        return candidates
+        key = tuple(bins.get(t, Bin.MED) for t in self._tunables)
+        order = self._probe_memo.get(key)
+        if order is None:
+            candidates = sorted(
+                self._tunables,
+                key=lambda t: (_BIN_RANK[bins.get(t, Bin.MED)],
+                               _TIEBREAK_ORDER.index(t)),
+            )
+            order = self._probe_memo[key] = tuple(candidates)
+        return order
 
     # --- main step ---------------------------------------------------------
 
@@ -216,23 +229,35 @@ class FineGrainTuner:
             The configuration for the next launch.
         """
         tel = self._telemetry
-        if tel.enabled:
-            tel.metrics.counter(
-                "fg_proposals_total", "fine-grain propose() decisions",
-            ).inc()
+        if not tel.enabled:
+            # Per-launch hot path: skip the null-telemetry counter and
+            # timing-section machinery entirely.
+            return self._propose(state, current, feedback, bins)
+        tel.metrics.counter(
+            "fg_proposals_total", "fine-grain propose() decisions",
+        ).inc()
         with tel.time("fg.propose"):
-            self._space.validate(current)
-            self._update_best(state, current, feedback)
+            return self._propose(state, current, feedback, bins)
 
-            if state.converged:
-                return state.best[1]
+    def _propose(
+        self,
+        state: FineGrainState,
+        current: HardwareConfig,
+        feedback: float,
+        bins: Mapping[str, Bin],
+    ) -> HardwareConfig:
+        self._space.validate(current)
+        self._update_best(state, current, feedback)
 
-            if state.inflight is not None:
-                outcome = self._resolve_inflight(state, current, feedback)
-                if outcome is not None:
-                    return outcome
+        if state.converged:
+            return state.best[1]
 
-            return self._start_next_move(state, current, feedback, bins)
+        if state.inflight is not None:
+            outcome = self._resolve_inflight(state, current, feedback)
+            if outcome is not None:
+                return outcome
+
+        return self._start_next_move(state, current, feedback, bins)
 
     # --- best-state tracking ---------------------------------------------------------
 
@@ -244,12 +269,8 @@ class FineGrainTuner:
         is within tolerance, prefer lower compute throughput (dominant
         dynamic power) and then lower memory bus frequency.
         """
-        space = self._space
-        compute = (config.n_cu * config.f_cu) / (
-            space.cu_counts[-1] * space.compute_frequencies[-1]
-        )
-        memory = config.f_mem / space.memory_frequencies[-1]
-        return compute + 0.3 * memory
+        return (config.n_cu * config.f_cu * self._rank_compute_scale
+                + config.f_mem * self._rank_memory_scale)
 
     def _update_best(self, state: FineGrainState, current: HardwareConfig,
                      feedback: float) -> None:

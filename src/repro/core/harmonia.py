@@ -39,7 +39,7 @@ from repro.core.monitor import MonitoringBlock, PhaseDetector, PhaseMemory
 from repro.core.policy import HistoryMixin, KernelHistory, LaunchContext
 from repro.gpu.config import ConfigSpace, HardwareConfig
 from repro.perf.result import KernelRunResult
-from repro.sensitivity.binning import SensitivityBins
+from repro.sensitivity.binning import Bin, SensitivityBins
 from repro.sensitivity.predictor import SensitivityPredictor
 from repro.telemetry import events as tm
 from repro.telemetry.handle import coalesce
@@ -159,6 +159,10 @@ class HarmoniaPolicy(HistoryMixin):
             raise ValueError("fg_patience must be >= 1")
         self._fg_patience = fg_patience
         self._control: Dict[str, _KernelControlState] = {}
+        # Pure memo: the per-tunable bin mapping handed to the FG tuner is
+        # a function of the snapshot's (compute_bin, bandwidth_bin) pair
+        # (at most |Bin|^2 shared read-only dicts).
+        self._tunable_bins_memo: Dict[Tuple[Bin, Bin], Dict[str, Bin]] = {}
         default_name = "harmonia" if enable_fg else "cg-only"
         self._name = policy_name or default_name
 
@@ -186,6 +190,25 @@ class HarmoniaPolicy(HistoryMixin):
     def telemetry(self):
         """The telemetry handle in use (the null handle when disabled)."""
         return self._telemetry
+
+    @property
+    def phase_threshold(self) -> float:
+        """Relative identity change declaring a workload phase change."""
+        return self._phases.threshold
+
+    def restore_numeric_state(self, kernel_name: str, features,
+                              identity: Tuple) -> None:
+        """Install externally computed monitor/phase state for one kernel.
+
+        The batched session engine advances the numeric stage (feature
+        EWMA, phase identities) as lane arrays outside the policy
+        object; on lane hand-back it restores the equivalent scalar
+        state here, so post-run inspection (``monitor.current``,
+        ``current_identity``) and any subsequent scalar stepping see
+        exactly what a scalar run would have left behind.
+        """
+        self._monitor.restore(kernel_name, features)
+        self._phases.restore(kernel_name, identity)
 
     def reset(self) -> None:
         """Forget all per-kernel state (between applications)."""
@@ -233,7 +256,16 @@ class HarmoniaPolicy(HistoryMixin):
         return history.current_config
 
     def observe(self, context: LaunchContext, result: KernelRunResult) -> None:
-        """Algorithm 1's monitoring + decision step."""
+        """Algorithm 1's monitoring + decision step.
+
+        Split into a numeric stage (phase detection, feature averaging,
+        sensitivity prediction, utilization-rate feedback) followed by
+        :meth:`_apply_observation`, the branchy transition stage. The
+        batched engine (:mod:`repro.runtime.session`) computes the same
+        numeric stage as vectorized lane arrays and funnels each lane
+        through the same transition stage, which is what keeps the two
+        paths bitwise-identical.
+        """
         history = self.history_for(context.kernel_name)
         control = self.control_state(context.kernel_name)
         requested = history.current_config
@@ -253,16 +285,43 @@ class HarmoniaPolicy(HistoryMixin):
             context.kernel_name, result.counters
         )
         if phase_changed:
-            # New workload phase: restart the feature average and FG state.
+            # New workload phase: restart the feature average.
             self._monitor.reset_kernel(context.kernel_name)
+        features = self._monitor.update(context.kernel_name, result.counters)
+        snapshot = self._cg.snapshot_from_features(features)
+        identity = self._phases.identity_of(result.counters)
+        self._apply_observation(
+            context, result, history, control,
+            phase_changed=phase_changed,
+            snapshot=snapshot,
+            identity=identity,
+            feedback=utilization_rate(result),
+        )
+
+    def _apply_observation(self, context: LaunchContext,
+                           result: KernelRunResult,
+                           history: KernelHistory,
+                           control: _KernelControlState, *,
+                           phase_changed: bool,
+                           snapshot: SensitivitySnapshot,
+                           identity: Tuple,
+                           feedback: float) -> None:
+        """Algorithm 1's decision step, downstream of the numeric stage.
+
+        Applies the CG-jump / phase-recall / FG hill-climb transition
+        rules given the launch's numeric observations: the phase-change
+        flag, the binned sensitivity snapshot, the phase identity, and
+        the utilization-rate feedback. Mutates the per-kernel history
+        and control state in place. Both the scalar :meth:`observe` and
+        the batched session engine call into this one method, so every
+        branch decision is shared verbatim between the two paths.
+        """
+        if phase_changed:
+            # New workload phase: restart the FG state.
             control.phase_changes += 1
             control.phase_age = 0
             control.fg.restart()
         control.phase_age += 1
-        features = self._monitor.update(context.kernel_name, result.counters)
-        snapshot = self._cg.snapshot_from_features(features)
-
-        identity = self._phases.identity_of(result.counters)
         tel = self._telemetry
         if phase_changed and tel.enabled:
             tel.emit(tm.PhaseChange(
@@ -318,7 +377,7 @@ class HarmoniaPolicy(HistoryMixin):
                 # phase, so the comparison is meaningful.
                 control.fg.prime_cg_validation(
                     before_config=result.config,
-                    before_feedback=utilization_rate(result),
+                    before_feedback=feedback,
                 )
             control.last_identity = identity
         elif self._enable_fg and (
@@ -326,16 +385,19 @@ class HarmoniaPolicy(HistoryMixin):
             or control.fg.inflight is not None
         ):
             control.fg_actions += 1
-            tunable_bins = {
-                "n_cu": snapshot.compute_bin,
-                "f_cu": snapshot.compute_bin,
-                "f_mem": snapshot.bandwidth_bin,
-            }
+            bins_key = (snapshot.compute_bin, snapshot.bandwidth_bin)
+            tunable_bins = self._tunable_bins_memo.get(bins_key)
+            if tunable_bins is None:
+                tunable_bins = self._tunable_bins_memo[bins_key] = {
+                    "n_cu": snapshot.compute_bin,
+                    "f_cu": snapshot.compute_bin,
+                    "f_mem": snapshot.bandwidth_bin,
+                }
             pre_inflight = control.fg.inflight
             pre_converged = control.fg.converged
             pre_dithering = control.fg.dithering
             next_config = self._fg.propose(
-                control.fg, result.config, utilization_rate(result), tunable_bins
+                control.fg, result.config, feedback, tunable_bins
             )
             source = "fg"
             if tel.enabled:

@@ -80,6 +80,17 @@ class MonitoringBlock:
         average restarts from the new phase's behaviour)."""
         self._state.pop(kernel_name, None)
 
+    def restore(self, kernel_name: str,
+                features: Mapping[str, float]) -> None:
+        """Install an externally maintained running average for a kernel.
+
+        The batched session engine advances the EWMA as lane arrays and
+        hands the final values back through here, so post-run
+        inspection (:meth:`current`) and any further scalar updates see
+        exactly what a scalar run would have left behind.
+        """
+        self._state[kernel_name] = dict(features)
+
 
 class PhaseDetector:
     """Workload phase-change detection from config-invariant counters.
@@ -139,9 +150,19 @@ class PhaseDetector:
         self._identity[kernel_name] = identity
         if previous is None:
             return True
+        return self.identity_differs(previous, identity, self._threshold)
+
+    @staticmethod
+    def identity_differs(previous: tuple, identity: tuple,
+                         threshold: float) -> bool:
+        """The phase-change test on two identity vectors.
+
+        Exposed so the batched engine can replay the detector over a
+        precomputed identity schedule with the exact same comparison.
+        """
         for old, new in zip(previous, identity):
             scale = max(abs(old), abs(new), 1e-12)
-            if abs(new - old) / scale > self._threshold:
+            if abs(new - old) / scale > threshold:
                 return True
         return False
 
@@ -152,6 +173,11 @@ class PhaseDetector:
     def current_identity(self, kernel_name: str) -> Optional[tuple]:
         """The most recent identity vector of one kernel, if any."""
         return self._identity.get(kernel_name)
+
+    def restore(self, kernel_name: str, identity: tuple) -> None:
+        """Install an externally tracked identity for a kernel (the
+        batched session engine's scalar-state hand-back)."""
+        self._identity[kernel_name] = tuple(identity)
 
 
 class PhaseMemory:
@@ -179,6 +205,10 @@ class PhaseMemory:
 
     @staticmethod
     def _matches(a: tuple, b: tuple, threshold: float) -> bool:
+        if a == b:
+            # Stable phases recur with literally equal identity vectors;
+            # the tolerance scan below accepts any equal pair anyway.
+            return True
         for x, y in zip(a, b):
             scale = max(abs(x), abs(y), 1e-12)
             if abs(x - y) / scale > threshold:

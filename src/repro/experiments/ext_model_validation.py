@@ -95,7 +95,8 @@ def _simulate_times(task) -> List[float]:
     return [event_model.run(spec, config).time for config in configs]
 
 
-def _load_event_times(store, calibration, spec, configs) -> Optional[List[float]]:
+def _load_event_times(store, calibration, spec,
+                      configs) -> Optional[np.ndarray]:
     """The persisted event-driven surface for one kernel, or None.
 
     The simulator is deterministic and by far the most expensive stage of
@@ -105,7 +106,9 @@ def _load_event_times(store, calibration, spec, configs) -> Optional[List[float]
     spec and the exact config sample, a warm process loads the surface
     bitwise instead of re-simulating 27 configurations per kernel.
     Malformed foreign records that pass the schema check count as misses
-    (the caller recomputes and overwrites).
+    (the caller recomputes and overwrites). The surface stays a numpy
+    array end-to-end — the deviation and correlation rows consume it
+    without a list round-trip.
     """
     if store is None:
         return None
@@ -117,7 +120,7 @@ def _load_event_times(store, calibration, spec, configs) -> Optional[List[float]
     times = np.asarray(loaded[0].get("time"), dtype=np.float64)
     if times.shape != (len(configs),):
         return None
-    return times.tolist()
+    return times
 
 
 def run(context: ExperimentContext = None) -> ModelValidationResult:
@@ -155,24 +158,24 @@ def run(context: ExperimentContext = None) -> ModelValidationResult:
                     {"time": np.array(times, dtype=np.float64)},
                     meta={"kernel_name": kernel.base.name},
                 )
-            event_driven[kernel.name] = times
+            event_driven[kernel.name] = np.asarray(times, dtype=np.float64)
 
     rows = []
     for kernel in kernels:
         # Every sampled point is a grid point: the analytical times come
-        # from the kernel's cached (and store-served) sweep surface.
+        # from the kernel's cached (and store-served) sweep surface, as
+        # one vectorized gather against the surface array.
         surface = platform.grid_sweep(kernel.base)
-        analytical = [surface.time_at(config) for config in configs]
+        indices = np.array([surface.index_of(config) for config in configs],
+                           dtype=np.intp)
+        analytical = surface.time[indices]
         times = event_driven[kernel.name]
-        deviations = [abs(e / a - 1.0)
-                      for a, e in zip(analytical, times)]
-        correlation = pearson(
-            [1.0 / t for t in analytical], [1.0 / t for t in times]
-        )
+        deviations = np.abs(times / analytical - 1.0)
+        correlation = pearson(1.0 / analytical, 1.0 / times)
         rows.append(ValidationRow(
             kernel=kernel.name,
-            mean_abs_deviation=sum(deviations) / len(deviations),
-            max_abs_deviation=max(deviations),
+            mean_abs_deviation=float(deviations.mean()),
+            max_abs_deviation=float(deviations.max()),
             rank_correlation=correlation,
         ))
     return ModelValidationResult(rows=tuple(rows),

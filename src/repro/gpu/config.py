@@ -54,6 +54,19 @@ class HardwareConfig:
     f_cu: float
     f_mem: float
 
+    def __hash__(self) -> int:
+        # Configs key per-launch dict lookups (grid indices, residency
+        # tables, phase memories); the value is computed once per frozen
+        # instance. Numeric-field hashes are process-stable, so — unlike
+        # a string-keyed spec — the cached value is safe to pickle. Same
+        # tuple as the generated implementation, so hash values and dict
+        # iteration orders are unchanged.
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash((self.n_cu, self.f_cu, self.f_mem))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
     @property
     def compute(self) -> ComputeConfig:
         """The compute-configuration component."""
@@ -92,6 +105,8 @@ class ConfigSpace:
         self._cu_counts: Tuple[int, ...] = arch.cu_counts()
         self._f_cu_grid: Tuple[float, ...] = tuple(arch.compute_frequencies)
         self._f_mem_grid: Tuple[float, ...] = tuple(arch.memory_bus_frequencies)
+        # Lazily built accept-set for validate()'s hot path.
+        self._valid: Optional[frozenset] = None
 
     # --- basic accessors ----------------------------------------------------
 
@@ -169,6 +184,13 @@ class ConfigSpace:
         Raises:
             ConfigurationError: with a message naming the offending tunable.
         """
+        # Accept-set fast path: one cached-hash set probe instead of three
+        # linear tuple scans. The per-tunable checks below are kept as the
+        # reject path for their precise error messages.
+        if self._valid is None:
+            self._valid = frozenset(self)
+        if config in self._valid:
+            return config
         if config.n_cu not in self._cu_counts:
             raise ConfigurationError(
                 f"unsupported CU count {config.n_cu}; grid is {self._cu_counts}"

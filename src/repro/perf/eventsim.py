@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, Optional
 
 from repro.errors import AnalysisError
 from repro.gpu.architecture import GpuArchitecture
@@ -70,7 +71,9 @@ class _Wave:
         self.segments_left = segments
         self.compute_cycles = compute_cycles
         self.ready_at = 0.0
-        self.inflight: List[float] = []  # completion times, sorted
+        # Completion times, sorted; a deque because retirement pops from
+        # the front (list.pop(0) shifts the whole buffer each time).
+        self.inflight: Deque[float] = deque()
         self.done_at: Optional[float] = None
 
 
@@ -163,7 +166,7 @@ class EventDrivenModel:
 
         # Admission: only `resident_limit` waves are in flight at once.
         admitted = min(resident_limit, len(waves))
-        ready: List = [(0.0, i) for i in range(admitted)]
+        ready: list = [(0.0, i) for i in range(admitted)]
         heapq.heapify(ready)
         next_admission = admitted
         completed = 0
@@ -176,11 +179,11 @@ class EventDrivenModel:
             # Respect the wave's memory window: it may only issue its next
             # segment when it has an in-flight slot available.
             if len(wave.inflight) >= max_inflight:
-                blocked_until = wave.inflight.pop(0)
+                blocked_until = wave.inflight.popleft()
                 ready_at = max(ready_at, blocked_until)
             # Retire any completed requests.
             while wave.inflight and wave.inflight[0] <= ready_at:
-                wave.inflight.pop(0)
+                wave.inflight.popleft()
 
             simd_at = heapq.heappop(simd_free)
             start = max(ready_at, simd_at)

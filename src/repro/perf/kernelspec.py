@@ -97,6 +97,28 @@ class KernelSpec:
         if not 0 <= self.overlap_inefficiency <= 1:
             raise KernelSpecError(f"{self.name}: overlap_inefficiency must be in [0, 1]")
 
+    def __hash__(self) -> int:
+        # Specs key every hot memo (sweep cache, launch surfaces, noise
+        # draw streams), and the generated dataclass hash re-hashes all
+        # twenty fields per lookup. Specs are frozen, so the value is
+        # computed once and cached on the instance. Same tuple as the
+        # generated implementation, so hash values (and therefore dict
+        # iteration orders) are unchanged.
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash(tuple(self.__dict__[f.name]
+                                for f in dataclasses.fields(self)))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # String hashes are salted per process: never ship the cached
+        # hash across a pickle boundary (process fan-outs), or the copy
+        # would misbehave as a dict key in the receiving process.
+        state = dict(self.__dict__)
+        state.pop("_cached_hash", None)
+        return state
+
     # --- derived quantities ---------------------------------------------------
 
     @property

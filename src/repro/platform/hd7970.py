@@ -339,17 +339,106 @@ class HardwarePlatform:
         self._space.validate(config)
         if cache is not None:
             return self.grid_sweep(spec, cache=cache).result_at_config(config)
-        # Hot path: thousands of launches per application run. Memoize
-        # the surface per spec so repeated launches skip re-hashing the
-        # full (calibration, spec, axes) cache key.
+        return self.launch_surface(spec).result_at_config(config)
+
+    def launch_surface(self, spec: KernelSpec) -> BatchRunResult:
+        """The memoized deterministic launch surface of ``spec``.
+
+        The clean full-grid surface that :meth:`launch` indexes on a
+        deterministic platform, exposed for the batched session engine
+        (:mod:`repro.runtime.session`): per-index results are the exact
+        memoized objects scalar launches return, so serving lanes from
+        this surface is identity-equal — not merely value-equal — to the
+        scalar path. On a noisy platform this is the *clean* base
+        surface; per-launch noise is applied by
+        :meth:`noisy_result_from` (the same keyed draw
+        :meth:`run_kernel` uses).
+
+        Hot path: thousands of launches per application run. Memoized
+        per (cheaply hashable) spec so repeated launches skip re-hashing
+        the full (calibration, spec, axes) cache key; population is
+        double-checked under a lock so concurrent callers produce
+        exactly one sweep-cache lookup per spec.
+        """
         surface = self._launch_surfaces.get(spec)
         if surface is None:
             with self._launch_surfaces_lock:
                 surface = self._launch_surfaces.get(spec)
                 if surface is None:
-                    surface = self.grid_sweep(spec)
+                    surface = self._clean_sweep(spec)
                     self._launch_surfaces[spec] = surface
-        return surface.result_at_config(config)
+        return surface
+
+    def grid_index(self, config: HardwareConfig) -> int:
+        """Position of ``config`` in grid iteration order (memoized).
+
+        Same value as ``config_space.index_of`` served from a dict, for
+        per-launch hot paths.
+
+        Raises:
+            ConfigurationError: if ``config`` is off the platform grid.
+        """
+        if self._grid_index is None:
+            self._grid_index = {c: i for i, c in enumerate(self._space)}
+        try:
+            return self._grid_index[config]
+        except KeyError:
+            self._space.validate(config)  # raises with a precise message
+            raise
+
+    def noise_draws(self, spec: KernelSpec, iteration: int):
+        """The full-grid ``(multipliers, clipped)`` draw vectors of one
+        ``(spec, iteration)`` — read-only, memoized by the noise model.
+
+        Exposed so the batched session engine can fetch one platform's
+        draw stream once per lockstep step and index it per lane,
+        instead of paying the memo lookup on every launch.
+
+        Raises:
+            ConfigurationError: on a noise-free platform (there is no
+                draw stream to expose).
+        """
+        if self._noise <= 0:
+            raise ConfigurationError("platform has no noise model")
+        return self._noise_model.multipliers_for(spec, iteration)
+
+    def noisy_result_from(self, base: KernelRunResult, spec: KernelSpec,
+                          iteration: int, index: Optional[int] = None,
+                          draws=None) -> KernelRunResult:
+        """Apply the launch-keyed noise draw to one clean launch result.
+
+        The batched session engine's per-launch noisy path: the same
+        multiplier, floor-clip accounting and result values as
+        :meth:`run_kernel` at this ``(spec, iteration, config)``, but
+        starting from the memoized clean surface element instead of a
+        fresh scalar model evaluation (the two are element-exact).
+
+        Args:
+            base: the clean surface element to perturb.
+            spec: the launched kernel.
+            iteration: the application iteration keying the draw.
+            index: ``base``'s grid index, when the caller already knows
+                it (skips the config-to-index lookup).
+            draws: the ``(multipliers, clipped)`` vectors from
+                :meth:`noise_draws`, when the caller batches launches of
+                one ``(spec, iteration)`` (skips the memo lookup).
+        """
+        if index is None:
+            index = self.grid_index(base.config)
+        if draws is None:
+            draws = self._noise_model.multipliers_for(spec, iteration)
+        multipliers, clipped = draws
+        if clipped[index]:
+            self._record_clips(spec, 1)
+        # Hot path: the frozen-dataclass __init__ pays one
+        # ``object.__setattr__`` per field; cloning the instance dict and
+        # overwriting ``time`` builds the same value-equal result at a
+        # third of the cost.
+        noisy = KernelRunResult.__new__(KernelRunResult)
+        state = noisy.__dict__
+        state.update(base.__dict__)
+        state["time"] = base.time * float(multipliers[index])
+        return noisy
 
     def sweep_cache_key(self, spec: KernelSpec) -> Hashable:
         """The shared-cache key of this platform's full-grid sweep of
@@ -387,6 +476,14 @@ class HardwarePlatform:
             iteration: the application iteration keying the noise draws
                 (ignored on a noise-free platform).
         """
+        batch = self._clean_sweep(spec, cache=cache)
+        if self._noise > 0:
+            batch = self._perturb(batch, spec, iteration)
+        return batch
+
+    def _clean_sweep(self, spec: KernelSpec,
+                     cache: Optional[SweepCache] = None) -> BatchRunResult:
+        """The cached deterministic full-grid surface of ``spec``."""
         if cache is None:
             cache = shared_cache()
 
@@ -402,10 +499,7 @@ class HardwarePlatform:
             with telemetry.span("batch_sweep.compute", kernel=spec.name):
                 return self._run_batch_clean(spec)
 
-        batch = cache.get_or_compute(self.sweep_cache_key(spec), compute)
-        if self._noise > 0:
-            batch = self._perturb(batch, spec, iteration)
-        return batch
+        return cache.get_or_compute(self.sweep_cache_key(spec), compute)
 
 
 def make_hd7970_platform(noise_std_fraction: float = 0.0,

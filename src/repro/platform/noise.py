@@ -134,10 +134,17 @@ class LaunchKeyedNoise:
         if iteration < 0:
             raise ValueError(f"iteration must be non-negative, got {iteration}")
         key = (spec, iteration)
+        # Lock-free fast path: ``dict.get`` is atomic under the GIL and
+        # entries are immutable once published. Served entries skip the
+        # LRU recency update — eviction order becomes approximate, which
+        # only matters once the memo overflows (every entry is pure and
+        # recomputable), and the hit is a per-launch hot path.
+        entry = self._memo.get(key)
+        if entry is not None:
+            return entry
         with self._lock:
             entry = self._memo.get(key)
             if entry is not None:
-                self._memo.move_to_end(key)
                 return entry
             entry = self._derive(spec, iteration)
             self._memo[key] = entry

@@ -39,12 +39,14 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import io
 import json
 import os
 import tempfile
 import threading
+import zipfile
 from pathlib import Path
-from typing import Any, Callable, Dict, NamedTuple, Optional, Tuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -66,6 +68,11 @@ RESULT_KIND = "result"
 
 #: Environment variable overriding the default store directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Minimum member payload worth memory-mapping; smaller members are read
+#: eagerly (a map costs a syscall and a page of address space, and tiny
+#: members fit in the buffer the zip read already filled).
+MMAP_MIN_BYTES = 16 * 1024
 
 #: Row order of the stacked per-config float64 surfaces in a grid record.
 _GRID_ARRAYS = (
@@ -305,6 +312,132 @@ def batch_from_record(
     )
 
 
+# --- zero-copy (memory-mapped) record reads --------------------------------------
+#
+# ``np.load(..., mmap_mode=...)`` silently ignores the mmap request for
+# ``.npz`` archives and reads every member eagerly. But ``np.savez``
+# writes members uncompressed (``ZIP_STORED``), so each member's ``.npy``
+# payload sits contiguously in the archive file and can be mapped
+# directly: find the payload through the member's zip *local* header
+# (whose name/extra lengths are authoritative — the central directory's
+# may differ), parse the npy header there, and hand the remaining bytes
+# to :class:`numpy.memmap`. Pages then enter the process lazily from the
+# OS page cache, shared across processes, instead of being copied into
+# private heap buffers on every load.
+
+
+def _member_data_offset(raw, info: zipfile.ZipInfo) -> int:
+    """File offset of a stored zip member's payload, via its local header."""
+    raw.seek(info.header_offset)
+    header = raw.read(30)
+    if len(header) != 30 or header[:4] != b"PK\x03\x04":
+        raise ValueError("malformed zip local header")
+    name_len = int.from_bytes(header[26:28], "little")
+    extra_len = int.from_bytes(header[28:30], "little")
+    return info.header_offset + 30 + name_len + extra_len
+
+
+def _npy_memmap(path, raw, data_offset: int) -> np.ndarray:
+    """Map one embedded ``.npy`` payload read-only, without copying."""
+    raw.seek(data_offset)
+    version = np.lib.format.read_magic(raw)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(raw)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(raw)
+    else:
+        raise ValueError(f"unsupported npy format version {version}")
+    if dtype.hasobject:
+        raise ValueError("object arrays cannot be memory-mapped")
+    return np.memmap(path, dtype=dtype, mode="r", offset=raw.tell(),
+                     shape=shape, order="F" if fortran else "C")
+
+
+def _read_record_mmap(
+    path,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any], int]:
+    """Read one record, memory-mapping large uncompressed members.
+
+    Returns ``(arrays, meta, mapped)`` where ``mapped`` counts the
+    members served as :class:`numpy.memmap` views; small, compressed or
+    unmappable members are read eagerly like :func:`numpy.load` would.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    meta: Dict[str, Any] = {}
+    mapped = 0
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[:-4]
+            if (name != "__meta__"
+                    and info.compress_type == zipfile.ZIP_STORED
+                    and info.file_size >= MMAP_MIN_BYTES):
+                try:
+                    arrays[name] = _npy_memmap(
+                        path, raw, _member_data_offset(raw, info)
+                    )
+                    mapped += 1
+                    continue
+                except Exception:
+                    pass  # this member reads eagerly below
+            value = np.lib.format.read_array(
+                io.BytesIO(archive.read(info)), allow_pickle=False
+            )
+            if name == "__meta__":
+                meta = json.loads(str(value[()]))
+            else:
+                arrays[name] = value
+    return arrays, meta, mapped
+
+
+def _materialize_batch(batch: BatchRunResult) -> None:
+    """Copy a batch's array surfaces out of mapped file pages into RAM."""
+    for name in ("time", "compute_time", "memory_time", "overlap_residue",
+                 "achieved_bandwidth", "gpu_power", "memory_power",
+                 "card_power", "energy"):
+        value = getattr(batch, name)
+        if isinstance(value, np.ndarray):
+            setattr(batch, name, np.array(value))
+    counters = batch.counters
+    batch.counters = dataclasses.replace(
+        counters,
+        valu_busy=np.array(counters.valu_busy),
+        mem_unit_busy=np.array(counters.mem_unit_busy),
+        mem_unit_stalled=np.array(counters.mem_unit_stalled),
+        write_unit_stalled=np.array(counters.write_unit_stalled),
+        ic_activity=np.array(counters.ic_activity),
+    )
+
+
+def _attach_mmap_release(batch: BatchRunResult,
+                         mapped: List[np.ndarray]) -> None:
+    """Give a map-backed batch a ``release_mmap`` copy-on-demote hook.
+
+    The sweep cache invokes the hook when it demotes (evicts) the entry:
+    the batch's surfaces are copied into process memory first — callers
+    holding the batch keep working on identical values — and the
+    underlying maps are then closed so the file handles and address
+    space are returned. A close is skipped (left to garbage collection)
+    when external views of the map are still alive.
+    """
+    buffers = [mm._mmap for mm in mapped
+               if getattr(mm, "_mmap", None) is not None]
+
+    def release_mmap() -> None:
+        _materialize_batch(batch)
+        mapped.clear()
+        while buffers:
+            buffer = buffers.pop()
+            try:
+                buffer.close()
+            except BufferError:
+                pass
+        batch.release_mmap = lambda: None
+
+    batch.release_mmap = release_mmap
+
+
 # --- the store -------------------------------------------------------------------
 
 
@@ -316,6 +449,8 @@ class StoreStats(NamedTuple):
     invalid_records: int
     bytes_read: int
     bytes_written: int
+    #: records served zero-copy with memory-mapped array members
+    mmap_hits: int = 0
 
 
 class SweepStore:
@@ -346,6 +481,7 @@ class SweepStore:
         self._invalid = 0
         self._bytes_read = 0
         self._bytes_written = 0
+        self._mmap_hits = 0
 
     @property
     def root(self) -> Path:
@@ -380,6 +516,7 @@ class SweepStore:
                 invalid_records=self._invalid,
                 bytes_read=self._bytes_read,
                 bytes_written=self._bytes_written,
+                mmap_hits=self._mmap_hits,
             )
 
     def path_for(self, kind: str, key: Any) -> Path:
@@ -489,6 +626,46 @@ class SweepStore:
         ).inc(kind=kind)
         return None
 
+    def load_record_mmap(
+        self, kind: str, key: Any
+    ) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, Any]]]:
+        """Load one record with large array members memory-mapped.
+
+        Same contract as :meth:`load_record`, but members big enough to
+        be worth it are served as read-only :class:`numpy.memmap` views
+        of the record file — zero-copy: the bytes stay in the OS page
+        cache and are never duplicated into private buffers. Any
+        structural obstacle (compressed members, foreign layout, a
+        filesystem that refuses to map) falls back to the eager reader,
+        so callers never observe a behavioural difference.
+        """
+        digest = content_digest((kind, key))
+        path = self._root / f"{kind}-{digest}.npz"
+        telemetry = self._tel()
+        try:
+            with telemetry.span("sweep_store.load", kind=kind):
+                size = os.stat(path).st_size
+                arrays, meta, mapped = _read_record_mmap(path)
+                if (meta.get("schema") != STORE_SCHEMA_VERSION
+                        or meta.get("kind") != kind
+                        or meta.get("digest") != digest):
+                    raise ValueError("foreign or mismatched record")
+        except FileNotFoundError:
+            return self._account_load(kind, None, {}, False, 0)
+        except Exception:
+            # Eager fallback: anything the zero-copy reader cannot
+            # serve (including genuinely invalid records, which the
+            # eager path accounts as such).
+            return self.load_record(kind, key)
+        if mapped:
+            with self._lock:
+                self._mmap_hits += 1
+            telemetry.metrics.counter(
+                "sweep_store_mmap_hits_total",
+                "sweep store records served zero-copy via mmap",
+            ).inc(kind=kind)
+        return self._account_load(kind, arrays, meta, False, size)
+
     def get_or_compute_arrays(
         self, kind: str, key: Any,
         compute: Callable[[], Dict[str, np.ndarray]],
@@ -509,13 +686,28 @@ class SweepStore:
         arrays, meta = batch_to_record(batch)
         return self.save_record(GRID_KIND, key, arrays, meta=meta)
 
-    def load_batch(self, key: Any) -> Optional[BatchRunResult]:
-        """Load one grid surface, or None on any kind of miss."""
-        loaded = self.load_record(GRID_KIND, key)
+    def load_batch(self, key: Any,
+                   mmap: bool = False) -> Optional[BatchRunResult]:
+        """Load one grid surface, or None on any kind of miss.
+
+        Args:
+            key: the grid's content-address key.
+            mmap: serve the surface arrays as zero-copy memory maps of
+                the record file (with eager fallback). The returned
+                batch then carries a ``release_mmap`` copy-on-demote
+                hook the sweep cache invokes on eviction.
+        """
+        loaded = (self.load_record_mmap(GRID_KIND, key) if mmap
+                  else self.load_record(GRID_KIND, key))
         if loaded is None:
             return None
         try:
-            return batch_from_record(*loaded)
+            batch = batch_from_record(*loaded)
+            mapped = [array for array in loaded[0].values()
+                      if isinstance(array, np.memmap)]
+            if mapped:
+                _attach_mmap_release(batch, mapped)
+            return batch
         except Exception:
             # Structurally valid npz, semantically broken record: demote
             # the accounted hit to an invalid-record miss.

@@ -96,10 +96,16 @@ class SweepCache:
             repro evaluates.
     """
 
-    def __init__(self, maxsize: int = 256, store=None):
+    def __init__(self, maxsize: int = 256, store=None,
+                 mmap_loads: bool = True):
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
+        #: serve store reads as zero-copy memory maps of the record
+        #: files (eager fallback inside the store when a record cannot
+        #: be mapped); evicting such an entry copies it on demote via
+        #: its ``release_mmap`` hook so live references stay valid
+        self.mmap_loads = mmap_loads
         self._entries: "OrderedDict[Hashable, BatchRunResult]" = OrderedDict()
         self._lock = threading.Lock()
         self._store = store
@@ -174,7 +180,7 @@ class SweepCache:
             with ambient_telemetry().span("sweep_cache.fill"):
                 store = self._store
                 if store is not None:
-                    entry = store.load_batch(key)
+                    entry = store.load_batch(key, mmap=self.mmap_loads)
                     with self._lock:
                         if entry is not None:
                             self._store_hits += 1
@@ -198,7 +204,17 @@ class SweepCache:
             self._entries[key] = result
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                _, evicted = self._entries.popitem(last=False)
+                self._demote(evicted)
+
+    @staticmethod
+    def _demote(entry: BatchRunResult) -> None:
+        """Copy-on-demote: a map-backed entry leaving the cache copies
+        its surfaces into RAM and closes its maps (live references to
+        the entry keep working on identical values)."""
+        release = getattr(entry, "release_mmap", None)
+        if release is not None:
+            release()
 
     def get(self, key: Hashable) -> Optional[BatchRunResult]:
         """The cached grid for ``key``, or None (counts as hit/miss).
@@ -216,7 +232,7 @@ class SweepCache:
         store = self._store
         if store is None:
             return None
-        entry = store.load_batch(key)
+        entry = store.load_batch(key, mmap=self.mmap_loads)
         with self._lock:
             if entry is not None:
                 self._store_hits += 1
@@ -227,9 +243,15 @@ class SweepCache:
         return entry
 
     def clear(self) -> None:
-        """Drop every in-memory grid (statistics and the store are kept)."""
+        """Drop every in-memory grid (statistics and the store are kept).
+
+        Map-backed entries are demoted (copied to RAM, maps closed) so
+        references held outside the cache stay valid."""
         with self._lock:
+            entries = list(self._entries.values())
             self._entries.clear()
+        for entry in entries:
+            self._demote(entry)
 
     def __len__(self) -> int:
         with self._lock:

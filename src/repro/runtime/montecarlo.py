@@ -225,7 +225,8 @@ class MonteCarloEngine:
         return self._noise
 
     def rollout(self, application: Application,
-                policy: PowerPolicy) -> MonteCarloRun:
+                policy: PowerPolicy,
+                reference=None) -> MonteCarloRun:
         """Evaluate one (application, policy) pair across all seeds.
 
         One deterministic reference run records the launch schedule; the
@@ -237,16 +238,30 @@ class MonteCarloEngine:
         application and policy), attached to whatever span was open on
         the calling thread — typically a pipeline node or a fan-out
         worker.
+
+        Args:
+            application: the workload to roll out.
+            policy: the policy whose decision trace anchors all trials.
+            reference: a precomputed deterministic
+                :class:`~repro.runtime.simulator.RunResult` of this
+                (application, policy) pair on the engine's platform —
+                the batched session engine supplies these so all
+                policies' reference runs advance in lockstep. ``None``
+                runs the scalar reference here.
         """
         from repro.telemetry.spans import ambient_telemetry
         with ambient_telemetry().span(
                 "montecarlo.rollout",
                 application=application.name, policy=policy.name):
-            return self._rollout(application, policy)
+            return self._rollout(application, policy, reference)
 
     def _rollout(self, application: Application,
-                 policy: PowerPolicy) -> MonteCarloRun:
-        reference = ApplicationRunner(self._platform).run(application, policy)
+                 policy: PowerPolicy,
+                 reference=None) -> MonteCarloRun:
+        if reference is None:
+            reference = ApplicationRunner(self._platform).run(
+                application, policy
+            )
         records = reference.trace.records
         launches = list(application.launches())
         if len(launches) != len(records):

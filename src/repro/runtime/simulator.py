@@ -35,6 +35,22 @@ class RunResult:
     metrics: RunMetrics
 
 
+def finish_run(application: Application, policy: PowerPolicy,
+               trace: RunTrace) -> RunResult:
+    """Assemble a :class:`RunResult` from a completed launch trace.
+
+    Shared by the scalar runner and the batched session engine
+    (:mod:`repro.runtime.session`) so both produce identical results.
+    """
+    launches = [record.result for record in trace.records]
+    return RunResult(
+        application=application.name,
+        policy=policy.name,
+        trace=trace,
+        metrics=metrics_from_launches(launches),
+    )
+
+
 class ApplicationRunner:
     """Executes applications on a platform under a policy.
 
@@ -128,13 +144,7 @@ class ApplicationRunner:
 
     def _finish(self, application: Application, policy: PowerPolicy,
                 trace: RunTrace) -> RunResult:
-        launches = [record.result for record in trace.records]
-        return RunResult(
-            application=application.name,
-            policy=policy.name,
-            trace=trace,
-            metrics=metrics_from_launches(launches),
-        )
+        return finish_run(application, policy, trace)
 
     def run_matrix(
         self,
@@ -142,6 +152,7 @@ class ApplicationRunner:
         policies: Optional[Sequence[PowerPolicy]] = None,
         jobs: int = 1,
         policy_factories: Optional[Sequence[Callable[[], PowerPolicy]]] = None,
+        batched: bool = True,
     ) -> Dict[str, Dict[str, RunResult]]:
         """Run every application under every policy, fanned out per app.
 
@@ -162,6 +173,12 @@ class ApplicationRunner:
             jobs: maximum concurrent application runs.
             policy_factories: zero-argument constructors of fresh policy
                 instances, one policy set per application.
+            batched: advance each application's policies in lockstep via
+                the batched session engine (:mod:`repro.runtime.session`)
+                instead of one scalar run per policy. Bitwise-identical
+                results; lanes the engine cannot prove equivalent fall
+                back to the scalar loop automatically. Set ``False`` to
+                force the scalar path (the differential-testing oracle).
 
         Returns:
             ``results[application_name][policy_name] -> RunResult``.
@@ -185,9 +202,21 @@ class ApplicationRunner:
 
         def run_app(application: Application) -> Dict[str, RunResult]:
             per_app: Dict[str, RunResult] = {}
-            for factory in policy_factories:
-                policy = factory()
-                per_app[policy.name] = self.run(application, policy)
+            app_policies = [factory() for factory in policy_factories]
+            if batched:
+                from repro.runtime.session import (
+                    BatchSessionRunner, SessionSpec,
+                )
+                engine = BatchSessionRunner(self._platform, self._telemetry)
+                outcomes = engine.run_sessions([
+                    SessionSpec(application=application, policy=policy)
+                    for policy in app_policies
+                ])
+                for policy, outcome in zip(app_policies, outcomes):
+                    per_app[policy.name] = outcome
+            else:
+                for policy in app_policies:
+                    per_app[policy.name] = self.run(application, policy)
             return per_app
 
         outcomes = fan_out(run_app, applications, jobs=jobs)

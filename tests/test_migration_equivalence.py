@@ -153,15 +153,17 @@ class TestEventSimEquivalence:
             meta={"kernel_name": spec.name},
         )
         warm = _load_event_times(store, calibration, spec, configs)
-        assert cold == warm
+        assert isinstance(warm, np.ndarray)
+        assert np.array_equal(np.asarray(cold, dtype=np.float64), warm)
         controller = MemoryControllerModel(
             arch=calibration.arch, timing=calibration.gddr5_timing
         )
         event_model = EventDrivenModel(
             calibration.arch, controller, calibration.clock_domain_model()
         )
-        scalar = [event_model.run(spec, c).time for c in configs]
-        assert warm == scalar
+        scalar = np.array([event_model.run(spec, c).time for c in configs],
+                          dtype=np.float64)
+        assert np.array_equal(warm, scalar)
 
 
 class TestRunnerEquivalence:

@@ -474,3 +474,125 @@ class TestTwoTierCache:
         assert misses.value(tier="memory") == 1.0
         assert misses.value(tier="store") == 1.0
         assert hits.value(tier="store") == 0.0
+
+
+# --- zero-copy (memory-mapped) loads ----------------------------------------------
+
+
+class TestMmapLoads:
+    def test_mmap_round_trip_is_bitwise(self, store, fresh_platform):
+        spec = all_kernels()[0].base
+        batch = fresh_platform.grid_sweep(spec)
+        key = _grid_key(fresh_platform, spec)
+        store.save_batch(key, batch)
+        loaded = store.load_batch(key, mmap=True)
+        assert isinstance(loaded.time, np.memmap)
+        assert isinstance(loaded.gpu_power, np.memmap)
+        _assert_batches_bitwise_equal(batch, loaded)
+        assert store.stats().mmap_hits == 1
+        assert store.stats().hits == 1
+
+    def test_release_hook_materializes_and_is_idempotent(
+            self, store, fresh_platform):
+        spec = all_kernels()[1].base
+        key = _grid_key(fresh_platform, spec)
+        batch = fresh_platform.grid_sweep(spec)
+        store.save_batch(key, batch)
+        loaded = store.load_batch(key, mmap=True)
+        before = np.array(loaded.time)
+        loaded.release_mmap()
+        assert not isinstance(loaded.time, np.memmap)
+        np.testing.assert_array_equal(loaded.time, before)
+        _assert_batches_bitwise_equal(batch, loaded)
+        loaded.release_mmap()  # second demote is a no-op
+
+    def test_eager_loads_carry_no_release_hook(self, store, fresh_platform):
+        spec = all_kernels()[0].base
+        key = _grid_key(fresh_platform, spec)
+        store.save_batch(key, fresh_platform.grid_sweep(spec))
+        loaded = store.load_batch(key)  # mmap not requested
+        assert not isinstance(loaded.time, np.memmap)
+        assert not hasattr(loaded, "release_mmap")
+        assert store.stats().mmap_hits == 0
+
+    def test_compressed_record_falls_back_to_eager(
+            self, store, fresh_platform):
+        # Recompress the record in place: members are no longer
+        # ZIP_STORED, so nothing can map — the load still serves the
+        # identical record, just eagerly, and counts no mmap hit.
+        spec = all_kernels()[0].base
+        key = _grid_key(fresh_platform, spec)
+        batch = fresh_platform.grid_sweep(spec)
+        store.save_batch(key, batch)
+        path = store.path_for(GRID_KIND, key)
+        with np.load(path, allow_pickle=False) as data:
+            members = {name: data[name] for name in data.files}
+        np.savez_compressed(path, **members)
+        loaded = store.load_batch(key, mmap=True)
+        assert loaded is not None
+        assert not isinstance(loaded.time, np.memmap)
+        _assert_batches_bitwise_equal(batch, loaded)
+        stats = store.stats()
+        assert stats.mmap_hits == 0
+        assert stats.hits == 1
+
+    def test_absent_and_corrupt_records_stay_misses(
+            self, store, fresh_platform):
+        spec = all_kernels()[0].base
+        key = _grid_key(fresh_platform, spec)
+        assert store.load_batch(key, mmap=True) is None
+        store.save_batch(key, fresh_platform.grid_sweep(spec))
+        store.path_for(GRID_KIND, key).write_bytes(b"garbage")
+        assert store.load_batch(key, mmap=True) is None
+        stats = store.stats()
+        assert stats.misses == 2
+        assert stats.invalid_records == 1
+        assert stats.mmap_hits == 0
+
+    def test_mmap_hit_emits_counter(self, tmp_path, fresh_platform):
+        telemetry = Telemetry()
+        store = SweepStore(tmp_path / "s", telemetry=telemetry)
+        spec = all_kernels()[0].base
+        key = _grid_key(fresh_platform, spec)
+        store.save_batch(key, fresh_platform.grid_sweep(spec))
+        store.load_batch(key, mmap=True)
+        counter = telemetry.metrics.counter(
+            "sweep_store_mmap_hits_total", "")
+        assert counter.value(kind=GRID_KIND) == 1.0
+
+    def test_cache_eviction_demotes_mapped_entry(
+            self, tmp_path, fresh_platform):
+        specs = [k.base for k in all_kernels()[:2]]
+        store = SweepStore(tmp_path / "s")
+        for spec in specs:
+            store.save_batch(_grid_key(fresh_platform, spec),
+                             fresh_platform.grid_sweep(spec))
+        cache = SweepCache(maxsize=1, store=store)
+        first = cache.get(_grid_key(fresh_platform, specs[0]))
+        assert isinstance(first.time, np.memmap)
+        held = np.array(first.time)
+        cache.get(_grid_key(fresh_platform, specs[1]))  # evicts first
+        assert not isinstance(first.time, np.memmap)
+        np.testing.assert_array_equal(first.time, held)
+
+    def test_cache_clear_demotes_mapped_entries(
+            self, tmp_path, fresh_platform):
+        spec = all_kernels()[0].base
+        store = SweepStore(tmp_path / "s")
+        store.save_batch(_grid_key(fresh_platform, spec),
+                         fresh_platform.grid_sweep(spec))
+        cache = SweepCache(store=store)
+        entry = cache.get(_grid_key(fresh_platform, spec))
+        assert isinstance(entry.time, np.memmap)
+        cache.clear()
+        assert not isinstance(entry.time, np.memmap)
+
+    def test_mmap_loads_off_reads_eagerly(self, tmp_path, fresh_platform):
+        spec = all_kernels()[0].base
+        store = SweepStore(tmp_path / "s")
+        store.save_batch(_grid_key(fresh_platform, spec),
+                         fresh_platform.grid_sweep(spec))
+        cache = SweepCache(store=store, mmap_loads=False)
+        entry = cache.get(_grid_key(fresh_platform, spec))
+        assert not isinstance(entry.time, np.memmap)
+        assert store.stats().mmap_hits == 0
