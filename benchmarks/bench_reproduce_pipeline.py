@@ -165,6 +165,12 @@ def main(argv=None) -> int:
         "warm_speedup": warm_speedup,
         "min_parallel_speedup_floor": args.min_parallel_speedup,
         "parallel_floor_enforced": parallel_floor_active,
+        # Explicit, machine-readable reason when the floor is waived, so
+        # a sub-1.0x speedup next to "enforced: false" reads as "small
+        # machine", not as a silently ignored regression.
+        "parallel_floor_skipped_reason": (
+            None if parallel_floor_active
+            else f"only {cores} core(s) < 4: nothing to fan out over"),
         "min_warm_speedup_floor": args.min_warm_speedup,
         "critical_path": serial["critical_path"],
         "critical_path_s": serial["critical_path_s"],

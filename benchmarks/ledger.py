@@ -255,6 +255,16 @@ DEFAULT_GATES: Dict[str, List[GateRule]] = {
         GateRule("geomean_controller_speedup", higher_is_better=True,
                  max_regression=0.25, min_value=5.0),
     ],
+    "eventsim": [
+        # The batched lockstep engine's contract: at least 10x over the
+        # scalar event loop on fleet-class lane counts, bitwise-identical.
+        # The validation-node grid is floored lower — at 675 lanes the
+        # per-iteration dispatch cost is a constant ~half of every step.
+        GateRule("geomean_fleet_speedup", higher_is_better=True,
+                 max_regression=0.25, min_value=10.0),
+        GateRule("node_speedup", higher_is_better=True,
+                 max_regression=0.25, min_value=5.0),
+    ],
     "telemetry": [
         # The hard contract: telemetry off must stay within 2% of an
         # uninstrumented run, whatever the history says.

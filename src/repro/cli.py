@@ -190,7 +190,8 @@ def cmd_telemetry_report(args: argparse.Namespace) -> int:
     """Summarize a JSONL event trace, a span trace, or a metrics export."""
     from repro.errors import TelemetryError
     from repro.telemetry.report import (
-        cache_effectiveness_from_metrics, format_report, summarize)
+        cache_effectiveness_from_metrics, eventsim_engine_from_metrics,
+        format_report, summarize)
 
     if not (args.trace or args.spans or args.metrics):
         print("telemetry-report needs a trace file, --spans, or --metrics",
@@ -263,6 +264,9 @@ def cmd_telemetry_report(args: argparse.Namespace) -> int:
                 print()
             print(line if line is not None
                   else "sweep cache: no series in the metrics export")
+            eventsim_line = eventsim_engine_from_metrics(metrics)
+            if eventsim_line is not None:
+                print(eventsim_line)
     return 0
 
 

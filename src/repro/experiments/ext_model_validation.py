@@ -10,27 +10,44 @@ For every one of the 25 kernels, both models evaluate a spread of
 hardware configurations; the experiment reports the per-kernel relative
 time deviation and the correlation of the two models' performance
 rankings across the configuration sample.
+
+The event-driven surfaces are produced by the batched lockstep engine
+(:mod:`repro.perf.eventsim_batch`) by default — one vectorized numpy
+event loop over every missing (kernel, config) lane, bitwise-identical
+to the scalar simulator. Setting :data:`EVENTSIM_BATCH_ENV` to
+``0``/``off``/``false``/``no`` (or an :class:`~repro.errors.AnalysisError`
+from the batched engine) falls back to the original scalar loop fanned
+out over worker processes; either path writes the same store records.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.report import format_table
+from repro.errors import AnalysisError
 from repro.experiments.context import ExperimentContext, default_context
 from repro.memory.controller import MemoryControllerModel
 from repro.perf.eventsim import EventDrivenModel
+from repro.perf.eventsim_batch import BatchedEventModel
+from repro.platform.store import EVENTSIM_KIND
 from repro.platform.sweepcache import shared_cache
 from repro.runtime.parallel import fan_out_processes
 from repro.sensitivity.regression import pearson
+from repro.telemetry.spans import ambient_telemetry
 from repro.units import MHZ
 from repro.workloads.registry import all_kernels
 
-#: Sweep-store record kind of event-driven validation surfaces.
-EVENTSIM_KIND = "eventsim"
+#: Environment variable disabling the batched lockstep engine (set to
+#: ``0``/``off``/``false``/``no``); simulation then falls back to the
+#: scalar event loop fanned out over worker processes. The two paths
+#: produce bitwise-identical surfaces — the knob exists for debugging
+#: and for differential runs, not because results differ.
+EVENTSIM_BATCH_ENV = "REPRO_EVENTSIM_BATCH"
 
 
 @dataclass(frozen=True)
@@ -74,6 +91,41 @@ def _sample_configs(space) -> List:
     return [
         HardwareConfig(n, f, m)
         for n in cus for f in f_cus for m in f_mems
+    ]
+
+
+def _batch_enabled() -> bool:
+    """Whether the batched lockstep engine serves this experiment."""
+    flag = os.environ.get(EVENTSIM_BATCH_ENV, "").strip().lower()
+    return flag not in {"0", "off", "false", "no"}
+
+
+def _batch_simulate(calibration, specs, configs) -> List[np.ndarray]:
+    """Batched event-driven surfaces, one float64 array per spec.
+
+    All (spec, config) lanes run through one lockstep engine call; the
+    telemetry span and the ``eventsim_batch_lanes_total`` counter make
+    the engine's share of a reproduce run visible in
+    ``telemetry-report --metrics``.
+    """
+    controller = MemoryControllerModel(
+        arch=calibration.arch, timing=calibration.gddr5_timing
+    )
+    batch_model = BatchedEventModel(
+        calibration.arch, controller, calibration.clock_domain_model()
+    )
+    telemetry = ambient_telemetry()
+    with telemetry.span("eventsim.batch", kernels=len(specs),
+                        configs=len(configs)):
+        results = batch_model.run_batch(specs, configs)
+    if telemetry.enabled:
+        telemetry.metrics.counter(
+            "eventsim_batch_lanes_total",
+            "lanes simulated by the batched lockstep event engine",
+        ).inc(len(specs) * len(configs))
+    return [
+        np.array([r.time for r in row], dtype=np.float64)
+        for row in results
     ]
 
 
@@ -132,10 +184,13 @@ def run(context: ExperimentContext = None) -> ModelValidationResult:
     kernels = list(all_kernels())
     store = shared_cache().store
 
-    # Serve every kernel the store already covers, then simulate the rest
-    # in one fan-out. The simulator is a pure-Python event loop that
-    # holds the GIL, so the fan-out uses worker *processes*; store writes
-    # happen here in the parent, keeping the workers side-effect free.
+    # Serve every kernel the store already covers, then simulate the rest.
+    # The default engine is the batched lockstep simulator: every missing
+    # (kernel, config) lane runs as one vectorized numpy event loop in
+    # this process, bitwise-identical to the scalar loop. The scalar
+    # fan-out over worker processes remains as a fallback (env knob off,
+    # or a lane the batched engine refuses); store writes always happen
+    # here in the parent, keeping both paths side-effect free.
     event_driven = {}
     missing = []
     for kernel in kernels:
@@ -145,20 +200,37 @@ def run(context: ExperimentContext = None) -> ModelValidationResult:
         else:
             event_driven[kernel.name] = times
     if missing:
-        tasks = [(calibration, kernel.base, tuple(configs))
-                 for kernel in missing]
-        simulated = fan_out_processes(
-            _simulate_times, tasks, jobs=context.jobs,
-            labels=[kernel.name for kernel in missing],
-        )
-        for kernel, times in zip(missing, simulated):
+        surfaces = None
+        if _batch_enabled():
+            try:
+                surfaces = _batch_simulate(
+                    calibration, [kernel.base for kernel in missing], configs
+                )
+            except AnalysisError:
+                surfaces = None
+        if surfaces is None:
+            telemetry = ambient_telemetry()
+            if telemetry.enabled:
+                telemetry.metrics.counter(
+                    "eventsim_batch_fallback_total",
+                    "event-driven runs served by the scalar fork fallback",
+                ).inc()
+            tasks = [(calibration, kernel.base, tuple(configs))
+                     for kernel in missing]
+            simulated = fan_out_processes(
+                _simulate_times, tasks, jobs=context.jobs,
+                labels=[kernel.name for kernel in missing],
+            )
+            surfaces = [np.asarray(times, dtype=np.float64)
+                        for times in simulated]
+        for kernel, times in zip(missing, surfaces):
             if store is not None:
                 store.save_record(
                     EVENTSIM_KIND, (calibration, kernel.base, tuple(configs)),
-                    {"time": np.array(times, dtype=np.float64)},
+                    {"time": times},
                     meta={"kernel_name": kernel.base.name},
                 )
-            event_driven[kernel.name] = np.asarray(times, dtype=np.float64)
+            event_driven[kernel.name] = times
 
     rows = []
     for kernel in kernels:

@@ -18,37 +18,27 @@ registry of :class:`ExperimentSpec` nodes, each declaring
 The registry is data, not behavior: scheduling lives in
 :mod:`repro.runtime.pipeline`, and ``tools/check_experiment_registry.py``
 lints that every experiment module is registered here exactly once.
+
+Registering a spec does **not** import its experiment module. Runners
+and formatters resolve their module on first call (:func:`_mod`), so
+importing the registry costs the specs alone — a run that serves every
+report from the result manifest never loads the experiment code at
+all. The old dynamic-import problem was *stringly structure* (deps and
+ordering hidden in a module list), not the deferred imports; the specs
+keep the structure static while the code loads lazily. Only
+``fig10_13_evaluation`` and ``ablations`` are imported eagerly: their
+policy matrix and study list are registry data.
 """
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.errors import AnalysisError
 from repro.experiments import ablations
-from repro.experiments import characterization
-from repro.experiments import ext_memory_voltage
-from repro.experiments import ext_model_validation
-from repro.experiments import ext_phase_memory
-from repro.experiments import ext_portability
-from repro.experiments import ext_power_capping
-from repro.experiments import ext_thermal_capping
-from repro.experiments import fig01_power_breakdown
-from repro.experiments import fig03_balance
-from repro.experiments import fig04_fig05_power_ranges as f45
-from repro.experiments import fig06_metric_tradeoffs
-from repro.experiments import fig07_occupancy
-from repro.experiments import fig08_divergence
-from repro.experiments import fig09_clock_domains
 from repro.experiments import fig10_13_evaluation as f1013
-from repro.experiments import fig14_16_graph500
-from repro.experiments import fig17_power_sharing
-from repro.experiments import fig18_cg_vs_fg
-from repro.experiments import oracle_gap
-from repro.experiments import sec72_variants
-from repro.experiments import table1_dvfs
-from repro.experiments import table2_table3_models
 from repro.experiments.context import ExperimentContext
 from repro.platform.store import content_digest
 
@@ -181,20 +171,38 @@ def reproduce_fingerprint(context: ExperimentContext) -> str:
 # --- adapters ---------------------------------------------------------------------
 
 
-def _module_short_name(module) -> str:
-    return module.__name__.rsplit(".", 1)[-1]
+_MODULE_CACHE: Dict[str, Any] = {}
 
 
-def _simple(name: str, module, deps: Tuple[str, ...] = (),
-            inputs: Tuple[Any, ...] = ()) -> ExperimentSpec:
+def _mod(name: str):
+    """The experiment module behind a spec, imported on first use.
+
+    Specs bind their defining modules by name instead of importing all
+    of them at registry-import time: only two modules contribute static
+    registry data (``fig10_13_evaluation``'s policy matrix and
+    ``ablations``' study list) and stay eager imports. Everything else
+    loads when its runner or formatter first fires — so a run that
+    serves every report from the result manifest never imports the
+    experiment code at all.
+    """
+    module = _MODULE_CACHE.get(name)
+    if module is None:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        _MODULE_CACHE[name] = module
+    return module
+
+
+def _simple(name: str, module: str, deps: Tuple[str, ...] = (),
+            inputs: Tuple[Any, ...] = (), version: int = 1) -> ExperimentSpec:
     """A spec around a module's plain ``run`` / ``format_report`` pair."""
     return ExperimentSpec(
         name=name,
-        module=_module_short_name(module),
-        runner=lambda context, _deps, _m=module: _m.run(context),
-        formatter=module.format_report,
+        module=module,
+        runner=lambda context, _deps: _mod(module).run(context),
+        formatter=lambda result: _mod(module).format_report(result),
         deps=deps,
         inputs=inputs,
+        version=version,
     )
 
 
@@ -224,15 +232,19 @@ register(ExperimentSpec(
 register(ExperimentSpec(
     name="fig04_compute_power",
     module="fig04_fig05_power_ranges",
-    runner=lambda context, _deps: f45.run_fig04(context),
-    formatter=lambda result: f45.format_report(result, "70%"),
+    runner=lambda context, _deps: _mod(
+        "fig04_fig05_power_ranges").run_fig04(context),
+    formatter=lambda result: _mod(
+        "fig04_fig05_power_ranges").format_report(result, "70%"),
     inputs=("compute-power-range", "70%"),
 ))
 register(ExperimentSpec(
     name="fig05_memory_power",
     module="fig04_fig05_power_ranges",
-    runner=lambda context, _deps: f45.run_fig05(context),
-    formatter=lambda result: f45.format_report(result, "10%"),
+    runner=lambda context, _deps: _mod(
+        "fig04_fig05_power_ranges").run_fig05(context),
+    formatter=lambda result: _mod(
+        "fig04_fig05_power_ranges").format_report(result, "10%"),
     inputs=("memory-power-range", "10%"),
 ))
 for _fig, _formatter in (
@@ -249,29 +261,33 @@ for _fig, _formatter in (
         deps=("evaluation",),
         inputs=(_fig.split("_", 1)[0],),
     ))
-register(_simple("fig01_power_breakdown", fig01_power_breakdown,
+register(_simple("fig01_power_breakdown", "fig01_power_breakdown",
                  inputs=("XSBench.CalculateXS", "baseline-config")))
-register(_simple("table1_dvfs", table1_dvfs))
-register(_simple("fig03_balance_points", fig03_balance))
-register(_simple("fig06_metric_tradeoffs", fig06_metric_tradeoffs))
-register(_simple("fig07_occupancy", fig07_occupancy))
-register(_simple("fig08_divergence", fig08_divergence))
-register(_simple("fig09_clock_domains", fig09_clock_domains))
-register(_simple("table2_table3_models", table2_table3_models,
+register(_simple("table1_dvfs", "table1_dvfs"))
+register(_simple("fig03_balance_points", "fig03_balance"))
+register(_simple("fig06_metric_tradeoffs", "fig06_metric_tradeoffs"))
+register(_simple("fig07_occupancy", "fig07_occupancy"))
+register(_simple("fig08_divergence", "fig08_divergence"))
+register(_simple("fig09_clock_domains", "fig09_clock_domains"))
+register(_simple("table2_table3_models", "table2_table3_models",
                  deps=("training",)))
-register(_simple("fig14_16_graph500", fig14_16_graph500))
-register(_simple("fig17_power_sharing", fig17_power_sharing,
+register(_simple("fig14_16_graph500", "fig14_16_graph500"))
+register(_simple("fig17_power_sharing", "fig17_power_sharing",
                  deps=("evaluation",)))
-register(_simple("fig18_cg_vs_fg", fig18_cg_vs_fg, deps=("evaluation",)))
-register(_simple("sec72_variants", sec72_variants, deps=("evaluation",)))
-register(_simple("ext_memory_voltage", ext_memory_voltage))
-register(_simple("ext_thermal_capping", ext_thermal_capping))
-register(_simple("ext_model_validation", ext_model_validation))
-register(_simple("ext_phase_memory", ext_phase_memory, deps=("training",)))
-register(_simple("ext_power_capping", ext_power_capping))
-register(_simple("ext_portability", ext_portability, deps=("evaluation",)))
-register(_simple("oracle_gap", oracle_gap, deps=("evaluation",)))
-register(_simple("characterization", characterization))
+register(_simple("fig18_cg_vs_fg", "fig18_cg_vs_fg", deps=("evaluation",)))
+register(_simple("sec72_variants", "sec72_variants", deps=("evaluation",)))
+register(_simple("ext_memory_voltage", "ext_memory_voltage"))
+register(_simple("ext_thermal_capping", "ext_thermal_capping"))
+# version 2: event-driven surfaces come from the batched lockstep engine
+# (bitwise-identical to v1's scalar fan-out, but the producer changed).
+register(_simple("ext_model_validation", "ext_model_validation", version=2))
+register(_simple("ext_phase_memory", "ext_phase_memory",
+                 deps=("training",)))
+register(_simple("ext_power_capping", "ext_power_capping"))
+register(_simple("ext_portability", "ext_portability",
+                 deps=("evaluation",)))
+register(_simple("oracle_gap", "oracle_gap", deps=("evaluation",)))
+register(_simple("characterization", "characterization"))
 
 for _study_name, _study in ablations.ALL_STUDIES:
     register(ExperimentSpec(

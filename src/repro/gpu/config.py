@@ -107,6 +107,12 @@ class ConfigSpace:
         self._f_mem_grid: Tuple[float, ...] = tuple(arch.memory_bus_frequencies)
         # Lazily built accept-set for validate()'s hot path.
         self._valid: Optional[frozenset] = None
+        # Lazily materialized grid for __iter__: callers enumerate the
+        # space thousands of times per run (batch index maps, grid
+        # sweeps, samplers), and yielding fresh HardwareConfig objects
+        # made every pass re-hash every config. One shared tuple means
+        # one object — and one cached hash — per grid point.
+        self._configs: Optional[Tuple[HardwareConfig, ...]] = None
 
     # --- basic accessors ----------------------------------------------------
 
@@ -134,10 +140,21 @@ class ConfigSpace:
         return len(self._cu_counts) * len(self._f_cu_grid) * len(self._f_mem_grid)
 
     def __iter__(self) -> Iterator[HardwareConfig]:
-        for n_cu in self._cu_counts:
-            for f_cu in self._f_cu_grid:
-                for f_mem in self._f_mem_grid:
-                    yield HardwareConfig(n_cu, f_cu, f_mem)
+        return iter(self._materialized())
+
+    def _materialized(self) -> Tuple[HardwareConfig, ...]:
+        configs = self._configs
+        if configs is None:
+            # Benign race under threads: both sides build identical
+            # tuples and the last assignment wins.
+            configs = tuple(
+                HardwareConfig(n_cu, f_cu, f_mem)
+                for n_cu in self._cu_counts
+                for f_cu in self._f_cu_grid
+                for f_mem in self._f_mem_grid
+            )
+            self._configs = configs
+        return configs
 
     def __contains__(self, config: HardwareConfig) -> bool:
         return (
@@ -188,7 +205,7 @@ class ConfigSpace:
         # linear tuple scans. The per-tunable checks below are kept as the
         # reject path for their precise error messages.
         if self._valid is None:
-            self._valid = frozenset(self)
+            self._valid = frozenset(self._materialized())
         if config in self._valid:
             return config
         if config.n_cu not in self._cu_counts:

@@ -64,17 +64,111 @@ class EventSimResult:
 class _Wave:
     """One wavefront's execution state."""
 
-    __slots__ = ("segments_left", "compute_cycles", "ready_at",
-                 "inflight", "done_at")
+    __slots__ = ("segments_left", "compute_cycles", "inflight", "done_at")
 
     def __init__(self, segments: int, compute_cycles: float):
         self.segments_left = segments
         self.compute_cycles = compute_cycles
-        self.ready_at = 0.0
         # Completion times, sorted; a deque because retirement pops from
         # the front (list.pop(0) shifts the whole buffer each time).
         self.inflight: Deque[float] = deque()
         self.done_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class _LaneParams:
+    """Everything the event loop needs, derived once per (spec, config).
+
+    The batched engine (:mod:`repro.perf.eventsim_batch`) runs many
+    lanes in lockstep but derives each lane's parameters through this
+    exact function, so the per-lane constants feeding both loops are
+    the same float64 values — a precondition of the bitwise-equivalence
+    contract.
+    """
+
+    simulated: int
+    total_waves: int
+    scale: float
+    segments: int
+    compute_per_segment: float
+    bytes_per_segment: float
+    service_time: float
+    load_latency: float
+    max_inflight: int
+    resident_limit: int
+    launch_overhead: float
+    simds_per_cu: int
+
+
+def _derive_lane_params(arch: GpuArchitecture,
+                        controller: MemoryControllerModel,
+                        clock_domains: ClockDomainModel,
+                        max_waves: int,
+                        spec: KernelSpec,
+                        config: HardwareConfig) -> _LaneParams:
+    """The scalar ``run`` setup, extracted verbatim (same ops, same order)."""
+    occupancy = compute_occupancy(
+        arch,
+        vgprs_per_workitem=spec.vgprs_per_workitem,
+        sgprs_per_wave=spec.sgprs_per_wave,
+        lds_bytes_per_workgroup=spec.lds_bytes_per_workgroup,
+        workgroup_size=spec.workgroup_size,
+    )
+    total_waves = math.ceil(spec.total_workitems / arch.wavefront_width)
+    waves_per_cu = max(1, math.ceil(total_waves / config.n_cu))
+    simulated = min(waves_per_cu, max_waves)
+    scale = waves_per_cu / simulated
+
+    # --- shared inputs with the analytical model -------------------
+    hit = spec.effective_l2_hit_rate(config.n_cu, arch.max_compute_units)
+    limits = controller.achievable_bandwidth(
+        f_mem=config.f_mem,
+        n_cu=config.n_cu,
+        waves_per_simd=occupancy.waves_per_simd,
+        outstanding_per_wave=spec.outstanding_per_wave,
+        access_efficiency=spec.access_efficiency,
+    )
+    crossing = clock_domains.crossing_bandwidth(config.f_cu)
+    # Per-CU share of the efficiency/crossing-limited bandwidth. The
+    # MLP limit is *emergent* here (waves stall on their own window),
+    # so only the pin/crossing limits parameterize the server.
+    subsystem_bw = min(limits.efficiency_limited, crossing)
+    per_cu_bw = subsystem_bw / config.n_cu
+
+    # --- per-wave structure ---------------------------------------
+    mem_ops = spec.mem_insts_per_item
+    # Group very memory-dense kernels into at most 64 segments so the
+    # event count stays bounded; compute-only kernels get one segment.
+    segments = max(1, min(64, int(round(mem_ops)) or 1))
+    issue_cycles_per_wave = (
+        spec.valu_insts_per_item / max(spec.lane_utilization, 1e-6)
+        + spec.mem_insts_per_item
+    ) * arch.cycles_per_valu_inst
+    compute_per_segment = issue_cycles_per_wave / segments / config.f_cu
+    dram_bytes_per_wave = (
+        spec.footprint_bytes_per_item * arch.wavefront_width * (1.0 - hit)
+    )
+    bytes_per_segment = dram_bytes_per_wave / segments
+    service_time = (
+        bytes_per_segment / per_cu_bw if bytes_per_segment > 0 else 0.0
+    )
+    load_latency = controller.timing.access_latency(config.f_mem)
+    max_inflight = max(1, int(round(spec.outstanding_per_wave)))
+    resident_limit = occupancy.waves_per_simd * arch.simds_per_cu
+    return _LaneParams(
+        simulated=simulated,
+        total_waves=total_waves,
+        scale=scale,
+        segments=segments,
+        compute_per_segment=compute_per_segment,
+        bytes_per_segment=bytes_per_segment,
+        service_time=service_time,
+        load_latency=load_latency,
+        max_inflight=max_inflight,
+        resident_limit=resident_limit,
+        launch_overhead=spec.launch_overhead,
+        simds_per_cu=arch.simds_per_cu,
+    )
 
 
 class EventDrivenModel:
@@ -109,55 +203,24 @@ class EventDrivenModel:
 
     def run(self, spec: KernelSpec, config: HardwareConfig) -> EventSimResult:
         """Execute ``spec`` at ``config`` on the event simulator."""
+        params = _derive_lane_params(
+            self._arch, self._controller, self._clock_domains,
+            self._max_waves, spec, config,
+        )
+        simulated = params.simulated
+        total_waves = params.total_waves
+        scale = params.scale
+        segments = params.segments
+        compute_per_segment = params.compute_per_segment
+        bytes_per_segment = params.bytes_per_segment
+        service_time = params.service_time
+        load_latency = params.load_latency
+        max_inflight = params.max_inflight
+        resident_limit = params.resident_limit
         arch = self._arch
-        occupancy = compute_occupancy(
-            arch,
-            vgprs_per_workitem=spec.vgprs_per_workitem,
-            sgprs_per_wave=spec.sgprs_per_wave,
-            lds_bytes_per_workgroup=spec.lds_bytes_per_workgroup,
-            workgroup_size=spec.workgroup_size,
-        )
-        total_waves = math.ceil(spec.total_workitems / arch.wavefront_width)
-        waves_per_cu = max(1, math.ceil(total_waves / config.n_cu))
-        simulated = min(waves_per_cu, self._max_waves)
-        scale = waves_per_cu / simulated
-
-        # --- shared inputs with the analytical model -------------------
-        hit = spec.effective_l2_hit_rate(config.n_cu, arch.max_compute_units)
-        limits = self._controller.achievable_bandwidth(
-            f_mem=config.f_mem,
-            n_cu=config.n_cu,
-            waves_per_simd=occupancy.waves_per_simd,
-            outstanding_per_wave=spec.outstanding_per_wave,
-            access_efficiency=spec.access_efficiency,
-        )
-        crossing = self._clock_domains.crossing_bandwidth(config.f_cu)
-        # Per-CU share of the efficiency/crossing-limited bandwidth. The
-        # MLP limit is *emergent* here (waves stall on their own window),
-        # so only the pin/crossing limits parameterize the server.
-        subsystem_bw = min(limits.efficiency_limited, crossing)
-        per_cu_bw = subsystem_bw / config.n_cu
-
-        # --- per-wave structure ---------------------------------------
-        segments = self._segments_per_wave(spec)
-        issue_cycles_per_wave = (
-            spec.valu_insts_per_item / max(spec.lane_utilization, 1e-6)
-            + spec.mem_insts_per_item
-        ) * arch.cycles_per_valu_inst
-        compute_per_segment = issue_cycles_per_wave / segments / config.f_cu
-        dram_bytes_per_wave = (
-            spec.footprint_bytes_per_item * arch.wavefront_width * (1.0 - hit)
-        )
-        bytes_per_segment = dram_bytes_per_wave / segments
-        service_time = (
-            bytes_per_segment / per_cu_bw if bytes_per_segment > 0 else 0.0
-        )
-        load_latency = self._controller.timing.access_latency(config.f_mem)
-        max_inflight = max(1, int(round(spec.outstanding_per_wave)))
 
         # --- event loop --------------------------------------------------
         waves = [_Wave(segments, compute_per_segment) for _ in range(simulated)]
-        resident_limit = occupancy.waves_per_simd * arch.simds_per_cu
         # SIMD availability as a min-heap of free times.
         simd_free = [0.0] * arch.simds_per_cu
         heapq.heapify(simd_free)

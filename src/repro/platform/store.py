@@ -15,10 +15,18 @@ salted per process and useless here). Changing *any* calibration
 constant, kernel characteristic, or grid axis changes the digest, so
 invalidation is by value: stale records are simply never addressed again.
 
-Records are ``.npz`` files: the surface arrays plus one JSON metadata
-entry carrying the schema version, the digest (self-check), and the
-config-invariant scalars encoded with ``float.hex`` for bitwise
-round-trips. Properties:
+Records are single files holding the surface arrays plus one JSON
+metadata header carrying the schema version, the digest (self-check),
+and the config-invariant scalars encoded with ``float.hex`` for bitwise
+round-trips. New records are written as a **raw npy container** (a
+magic prefix, the JSON header, then length-prefixed named ``.npy``
+members back to back) — the zip machinery of ``np.savez`` costs more
+than the payload for the small records a cold ``reproduce`` writes by
+the hundreds. Records written by older builds are ordinary ``.npz``
+zip archives; readers sniff the leading magic bytes and serve both
+formats, so a restored CI cache or an existing local store stays fully
+servable. Both spellings share the ``.npz`` filename, keeping content
+addresses and cache keys stable. Properties:
 
 * **atomic** — writes go to a unique tempfile in the store directory and
   are published with :func:`os.replace`, so concurrent ``--jobs`` workers
@@ -40,9 +48,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import io
+import itertools
 import json
 import os
-import tempfile
 import threading
 import zipfile
 from pathlib import Path
@@ -66,6 +74,13 @@ GRID_KIND = "grid"
 #: :class:`repro.runtime.pipeline.ResultManifest`).
 RESULT_KIND = "result"
 
+#: Record kind of event-driven validation surfaces (one float64 ``time``
+#: array per (calibration, spec, config-sample) key; producer:
+#: :mod:`repro.experiments.ext_model_validation`). The record layout is
+#: engine-agnostic — the batched and scalar event simulators are bitwise
+#: equivalent, so surfaces written by either engine hit for both.
+EVENTSIM_KIND = "eventsim"
+
 #: Environment variable overriding the default store directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -73,6 +88,18 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: eagerly (a map costs a syscall and a page of address space, and tiny
 #: members fit in the buffer the zip read already filled).
 MMAP_MIN_BYTES = 16 * 1024
+
+#: Leading magic of raw-container records. Zip records written by older
+#: builds start with ``PK\x03\x04`` instead; readers sniff and serve
+#: both. The trailing newline keeps accidental text-mode corruption
+#: detectable, like the npy magic it wraps.
+_RAW_MAGIC = b"\x93RPROSTORE\x01\n"
+
+#: Per-process sequence for unique tempfile names on the write path
+#: (``<final>.<pid>.<seq>.tmp``): ``itertools.count`` is atomic under
+#: the GIL, the pid separates concurrent processes, and uniqueness is
+#: all the name must provide — atomicity comes from :func:`os.replace`.
+_TMP_SEQ = itertools.count()
 
 #: Row order of the stacked per-config float64 surfaces in a grid record.
 _GRID_ARRAYS = (
@@ -326,6 +353,98 @@ def batch_from_record(
 # private heap buffers on every load.
 
 
+def _write_raw_record(buf, meta: Dict[str, Any],
+                      arrays: Dict[str, np.ndarray]) -> None:
+    """Serialize one record into ``buf`` in the raw container format.
+
+    Layout: ``_RAW_MAGIC``, 8-byte little-endian JSON header length, the
+    JSON header, then per member an 8-byte name length, the UTF-8 name,
+    and the standard ``.npy`` serialization of the array.
+    """
+    meta_bytes = json.dumps(meta).encode("utf-8")
+    buf.write(_RAW_MAGIC)
+    buf.write(len(meta_bytes).to_bytes(8, "little"))
+    buf.write(meta_bytes)
+    for name, array in arrays.items():
+        name_bytes = name.encode("utf-8")
+        buf.write(len(name_bytes).to_bytes(8, "little"))
+        buf.write(name_bytes)
+        np.lib.format.write_array(buf, np.asarray(array),
+                                  allow_pickle=False)
+
+
+def _read_raw_meta(fh) -> Dict[str, Any]:
+    """The JSON header of a raw record; ``fh`` sits just past the magic."""
+    meta_len = int.from_bytes(_read_exact(fh, 8), "little")
+    return json.loads(_read_exact(fh, meta_len))
+
+
+def _read_exact(fh, count: int) -> bytes:
+    data = fh.read(count)
+    if len(data) != count:
+        raise ValueError("truncated raw record")
+    return data
+
+
+def _iter_raw_members(fh):
+    """Yield ``(name, fh)`` pairs with ``fh`` positioned at each member's
+    ``.npy`` serialization; the consumer must advance past the payload."""
+    while True:
+        head = fh.read(8)
+        if not head:
+            return
+        if len(head) != 8:
+            raise ValueError("truncated raw record")
+        name_len = int.from_bytes(head, "little")
+        yield _read_exact(fh, name_len).decode("utf-8"), fh
+
+
+def _read_raw_record(fh) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Eagerly read one raw record; ``fh`` sits just past the magic."""
+    meta = _read_raw_meta(fh)
+    arrays: Dict[str, np.ndarray] = {}
+    for name, member in _iter_raw_members(fh):
+        arrays[name] = np.lib.format.read_array(member, allow_pickle=False)
+    return arrays, meta
+
+
+def _read_raw_record_mmap(
+    path, fh
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any], int]:
+    """Read a raw record, memory-mapping members worth mapping.
+
+    Same contract as :func:`_read_record_mmap`'s zip path: large members
+    become read-only :class:`numpy.memmap` views, small ones are read
+    eagerly, and ``mapped`` counts the views served.
+    """
+    meta = _read_raw_meta(fh)
+    arrays: Dict[str, np.ndarray] = {}
+    mapped = 0
+    for name, member in _iter_raw_members(fh):
+        header_at = member.tell()
+        version = np.lib.format.read_magic(member)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(
+                member)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(
+                member)
+        else:
+            raise ValueError(f"unsupported npy format version {version}")
+        nbytes = int(dtype.itemsize) * int(np.prod(shape, dtype=np.int64))
+        if nbytes >= MMAP_MIN_BYTES and not dtype.hasobject:
+            arrays[name] = np.memmap(
+                path, dtype=dtype, mode="r", offset=member.tell(),
+                shape=shape, order="F" if fortran else "C")
+            mapped += 1
+            member.seek(nbytes, os.SEEK_CUR)
+        else:
+            member.seek(header_at)
+            arrays[name] = np.lib.format.read_array(member,
+                                                    allow_pickle=False)
+    return arrays, meta, mapped
+
+
 def _member_data_offset(raw, info: zipfile.ZipInfo) -> int:
     """File offset of a stored zip member's payload, via its local header."""
     raw.seek(info.header_offset)
@@ -353,6 +472,24 @@ def _npy_memmap(path, raw, data_offset: int) -> np.ndarray:
                      shape=shape, order="F" if fortran else "C")
 
 
+def _read_record(path) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Eagerly read one record in either container format.
+
+    Sniffs the leading magic: raw-container records are parsed directly,
+    anything else is handed to :func:`numpy.load` as a legacy ``.npz``
+    zip archive. Raises on any torn, truncated or foreign layout — the
+    caller accounts that as a miss.
+    """
+    with open(path, "rb") as fh:
+        if fh.read(len(_RAW_MAGIC)) == _RAW_MAGIC:
+            return _read_raw_record(fh)
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["__meta__"][()]))
+        arrays = {name: data[name] for name in data.files
+                  if name != "__meta__"}
+    return arrays, meta
+
+
 def _read_record_mmap(
     path,
 ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any], int]:
@@ -362,6 +499,9 @@ def _read_record_mmap(
     members served as :class:`numpy.memmap` views; small, compressed or
     unmappable members are read eagerly like :func:`numpy.load` would.
     """
+    with open(path, "rb") as fh:
+        if fh.read(len(_RAW_MAGIC)) == _RAW_MAGIC:
+            return _read_raw_record_mmap(path, fh)
     arrays: Dict[str, np.ndarray] = {}
     meta: Dict[str, Any] = {}
     mapped = 0
@@ -545,13 +685,12 @@ class SweepStore:
         tmp = None
         try:
             with telemetry.span("sweep_store.save", kind=kind):
-                fd, tmp = tempfile.mkstemp(
-                    dir=self._root, prefix=final.stem + ".", suffix=".tmp.npz"
-                )
-                os.close(fd)
-                np.savez(tmp, __meta__=np.array(json.dumps(record_meta)),
-                         **arrays)
-                written = os.stat(tmp).st_size
+                buf = io.BytesIO()
+                _write_raw_record(buf, record_meta, arrays)
+                written = buf.tell()
+                tmp = f"{final}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
+                with open(tmp, "wb") as fh:
+                    fh.write(buf.getbuffer())
                 os.replace(tmp, final)
                 tmp = None
         except Exception:
@@ -588,14 +727,12 @@ class SweepStore:
         try:
             with telemetry.span("sweep_store.load", kind=kind):
                 size = os.stat(path).st_size
-                with np.load(path, allow_pickle=False) as data:
-                    meta = json.loads(str(data["__meta__"][()]))
-                    if (meta.get("schema") != STORE_SCHEMA_VERSION
-                            or meta.get("kind") != kind
-                            or meta.get("digest") != digest):
-                        raise ValueError("foreign or mismatched record")
-                    arrays = {name: data[name] for name in data.files
-                              if name != "__meta__"}
+                arrays, meta = _read_record(path)
+                if (meta.get("schema") != STORE_SCHEMA_VERSION
+                        or meta.get("kind") != kind
+                        or meta.get("digest") != digest):
+                    arrays = None
+                    raise ValueError("foreign or mismatched record")
         except FileNotFoundError:
             pass
         except Exception:

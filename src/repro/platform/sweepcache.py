@@ -122,7 +122,15 @@ class SweepCache:
 
     @property
     def store(self):
-        """The attached :class:`~repro.platform.store.SweepStore` (or None)."""
+        """The attached :class:`~repro.platform.store.SweepStore` (or None).
+
+        Exposed because the store also persists non-sweep record kinds
+        for other producers — e.g. the event-driven validation surfaces
+        (:data:`~repro.platform.store.EVENTSIM_KIND`), which the batched
+        and scalar event simulators write interchangeably (their results
+        are bitwise-identical, so records hit regardless of the engine
+        that produced them).
+        """
         return self._store
 
     def attach_store(self, store) -> None:

@@ -230,6 +230,20 @@ def fan_out(fn: Callable[[T], R], items: Sequence[T], jobs: int = 1,
             budget.release(borrowed)
 
 
+def fork_available() -> bool:
+    """Whether :func:`fan_out_processes` can actually fork workers.
+
+    ``False`` means a process fan-out will degrade to the serial loop
+    (identical results, no speedup). Callers choosing between a
+    vectorized single-process path and the fork fallback — e.g. the
+    event-driven validation stage, whose batched lockstep engine
+    replaced the fork fan-out as the default — can consult this to
+    report *why* a fallback ran serially.
+    """
+    import multiprocessing
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
 def _remote_invoke(payload):
     """Top-level process-pool worker running one item under telemetry.
 
@@ -260,7 +274,11 @@ def fan_out_processes(fn: Callable[[T], R], items: Sequence[T],
     Python hot loop (the event-driven wavefront simulator) holds the GIL
     and serializes under threads no matter how many cores exist. This
     variant forks worker processes instead, so such stages scale with
-    cores too. Contract differences from :func:`fan_out`:
+    cores too. Since the batched lockstep engine
+    (:mod:`repro.perf.eventsim_batch`) became the default for the
+    event-driven validation stage, this path serves as its fallback —
+    same results, fork-scaled instead of vectorized. Contract
+    differences from :func:`fan_out`:
 
     * ``fn`` must be a **pure, top-level** function and ``fn``/``items``/
       results must be picklable — workers share nothing with the parent,

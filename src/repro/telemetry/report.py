@@ -234,6 +234,21 @@ def format_cache_effectiveness(memory_hits: int, memory_misses: int,
     return line
 
 
+def eventsim_engine_from_metrics(metrics: Dict) -> Optional[str]:
+    """One line on how the event-driven validation surfaces were made
+    (batched lockstep lanes vs scalar fork-fallback runs); None when the
+    export holds neither eventsim series — e.g. the surfaces were all
+    served from the sweep store and no engine ran at all."""
+    lanes = _counter_total(metrics, "eventsim_batch_lanes_total")
+    fallbacks = _counter_total(metrics, "eventsim_batch_fallback_total")
+    if lanes == fallbacks == 0.0 and (
+            "eventsim_batch_lanes_total" not in metrics
+            and "eventsim_batch_fallback_total" not in metrics):
+        return None
+    return (f"eventsim: {int(lanes)} lanes via the batched lockstep "
+            f"engine, {int(fallbacks)} scalar fork-fallback runs")
+
+
 def cache_effectiveness_from_metrics(metrics: Dict) -> Optional[str]:
     """The cache-effectiveness line from an exported metrics registry
     (the JSON written by ``--metrics-out``); None when the export holds

@@ -4,6 +4,7 @@ robustness against corruption, concurrency, and the two-tier cache."""
 from __future__ import annotations
 
 import dataclasses
+import json
 import subprocess
 import sys
 import threading
@@ -238,7 +239,7 @@ class TestRobustness:
         def boom(*args, **kwargs):
             raise OSError("disk full")
 
-        monkeypatch.setattr(store_module.tempfile, "mkstemp", boom)
+        monkeypatch.setattr(store_module.os, "replace", boom)
         assert store.save_batch(key, batch) is False
         monkeypatch.undo()
         assert store.load_batch(key) is None  # nothing was published
@@ -515,19 +516,20 @@ class TestMmapLoads:
         assert not hasattr(loaded, "release_mmap")
         assert store.stats().mmap_hits == 0
 
-    def test_compressed_record_falls_back_to_eager(
+    def test_legacy_compressed_zip_record_falls_back_to_eager(
             self, store, fresh_platform):
-        # Recompress the record in place: members are no longer
-        # ZIP_STORED, so nothing can map — the load still serves the
-        # identical record, just eagerly, and counts no mmap hit.
+        # Rewrite the record in place as a compressed legacy .npz (the
+        # format older builds published, compressed so nothing can map):
+        # the load still serves the identical record, just eagerly, and
+        # counts no mmap hit.
         spec = all_kernels()[0].base
         key = _grid_key(fresh_platform, spec)
         batch = fresh_platform.grid_sweep(spec)
         store.save_batch(key, batch)
         path = store.path_for(GRID_KIND, key)
-        with np.load(path, allow_pickle=False) as data:
-            members = {name: data[name] for name in data.files}
-        np.savez_compressed(path, **members)
+        arrays, meta = store_module._read_record(path)
+        np.savez_compressed(path, __meta__=np.array(json.dumps(meta)),
+                            **arrays)
         loaded = store.load_batch(key, mmap=True)
         assert loaded is not None
         assert not isinstance(loaded.time, np.memmap)
@@ -535,6 +537,23 @@ class TestMmapLoads:
         stats = store.stats()
         assert stats.mmap_hits == 0
         assert stats.hits == 1
+
+    def test_legacy_zip_record_round_trips(self, store, fresh_platform):
+        # A record rewritten as an uncompressed legacy .npz (what older
+        # builds published) must still serve bitwise, eagerly and via
+        # mmap, from the same filename.
+        spec = all_kernels()[1].base
+        key = _grid_key(fresh_platform, spec)
+        batch = fresh_platform.grid_sweep(spec)
+        store.save_batch(key, batch)
+        path = store.path_for(GRID_KIND, key)
+        arrays, meta = store_module._read_record(path)
+        np.savez(path, __meta__=np.array(json.dumps(meta)), **arrays)
+        eager = store.load_batch(key)
+        _assert_batches_bitwise_equal(batch, eager)
+        mapped = store.load_batch(key, mmap=True)
+        _assert_batches_bitwise_equal(batch, mapped)
+        assert store.stats().mmap_hits == 1
 
     def test_absent_and_corrupt_records_stay_misses(
             self, store, fresh_platform):
